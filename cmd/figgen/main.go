@@ -1,0 +1,94 @@
+// Command figgen regenerates every figure and experiment of the
+// reproduction: the paper's Figure 1 (sample schedule) and Figure 2
+// (average power bars), the survey experiments E3–E15 derived from the
+// paper's Section 1 claims, and the design ablations.
+//
+// Usage:
+//
+//	figgen [-seed N] [-list] [experiment ...]
+//
+// With no arguments every experiment runs in order. Experiment names:
+// fig1 fig2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17
+// ablation-iface ablation-margin ablation-burst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(seed int64) exp.Result
+}
+
+func catalogue() []experiment {
+	return []experiment{
+		{"fig1", "Figure 1: sample schedule (transfers + power levels)", exp.Figure1},
+		{"fig2", "Figure 2: average WNIC power, 3 MP3 clients", func(s int64) exp.Result {
+			return exp.Figure2(s, 5*sim.Minute)
+		}},
+		{"e3", "E3: unmanaged WLAN listens ~90% of the time", exp.E3ListenFraction},
+		{"e4", "E4: 802.11 PSM vs CAM across loads", exp.E4PSMvsCAM},
+		{"e5", "E5: CAM vs PSM vs EC-MAC", exp.E5MACComparison},
+		{"e6", "E6: MAC-layer aggregation sweep", exp.E6Aggregation},
+		{"e7", "E7: PAMAS overhearing avoidance + battery sleep", exp.E7PAMAS},
+		{"e8", "E8: ARQ vs FEC energy crossover", exp.E8ARQvsFEC},
+		{"e9", "E9: adaptive ARQ with channel prediction", exp.E9AdaptiveARQ},
+		{"e10", "E10: end-to-end vs split TCP", exp.E10SplitTCP},
+		{"e11", "E11: OS-level DPM policies", exp.E11DPM},
+		{"e12", "E12: proxy content adaptation", exp.E12ProxyAdaptation},
+		{"e13", "E13: EDF vs WFQ vs round-robin", exp.E13Schedulers},
+		{"e14", "E14: burst-size sweep", exp.E14BurstSize},
+		{"e15", "E15: seamless interface switching", exp.E15InterfaceSwitch},
+		{"e16", "E16: energy-efficient ad-hoc routing", exp.E16Routing},
+		{"e17", "E17: CPU voltage scaling under EDF", exp.E17DVS},
+		{"ablation-iface", "ablation: interface selection off", exp.AblationInterfaceSelection},
+		{"ablation-margin", "ablation: buffer margin", exp.AblationMargin},
+		{"ablation-burst", "ablation: burst aggregation", exp.AblationBurstAggregation},
+	}
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	cat := catalogue()
+	if *list {
+		for _, e := range cat {
+			fmt.Printf("%-16s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	want := flag.Args()
+	selected := map[string]bool{}
+	for _, w := range want {
+		selected[w] = true
+	}
+	known := map[string]bool{}
+	for _, e := range cat {
+		known[e.name] = true
+	}
+	for _, w := range want {
+		if !known[w] {
+			fmt.Fprintf(os.Stderr, "figgen: unknown experiment %q (use -list)\n", w)
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range cat {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		fmt.Printf("=== %s — %s\n", e.name, e.desc)
+		r := e.run(*seed)
+		fmt.Println(r.Table)
+	}
+}

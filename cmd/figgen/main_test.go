@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestCatalogueWellFormed(t *testing.T) {
+	cat := catalogue()
+	if len(cat) < 17 {
+		t.Fatalf("catalogue has %d entries, want ≥ 17 (figs + E3..E17 + ablations)", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, e := range cat {
+		if e.name == "" || e.desc == "" || e.run == nil {
+			t.Errorf("malformed entry %+v", e)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate experiment name %q", e.name)
+		}
+		seen[e.name] = true
+	}
+	for _, must := range []string{"fig1", "fig2", "e8", "e15", "e16", "e17", "ablation-margin"} {
+		if !seen[must] {
+			t.Errorf("catalogue missing %q", must)
+		}
+	}
+}
+
+func TestCatalogueEntriesProduceTables(t *testing.T) {
+	// Spot-run the two fastest entries end to end.
+	for _, name := range []string{"fig1", "e15"} {
+		for _, e := range catalogue() {
+			if e.name != name {
+				continue
+			}
+			r := e.run(1)
+			if r.Table == "" || r.Name == "" {
+				t.Errorf("%s produced an empty result", name)
+			}
+		}
+	}
+}

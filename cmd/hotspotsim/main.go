@@ -1,0 +1,83 @@
+// Command hotspotsim runs one Hotspot resource-manager scenario with
+// configurable clients, scheduler, interface policy and duration, printing
+// the per-client power/QoS report and optionally the schedule.
+//
+// Example:
+//
+//	hotspotsim -clients 3 -duration 120 -scheduler edf -policy adaptive -slots
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		nClients  = flag.Int("clients", 3, "number of MP3-streaming clients")
+		duration  = flag.Float64("duration", 120, "simulated seconds")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		schedName = flag.String("scheduler", "edf", "scheduler: edf | wfq | rr")
+		polName   = flag.String("policy", "adaptive", "interface policy: adaptive | wlan | bt")
+		epoch     = flag.Float64("epoch", 10, "scheduling epoch (burst period) in seconds")
+		showSlots = flag.Bool("slots", false, "print the burst schedule")
+		outageAt  = flag.Float64("wlan-outage", 0, "force a WLAN outage at this second (0 = none)")
+		outageLen = flag.Float64("outage-len", 40, "outage length in seconds")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Epoch = sim.FromSeconds(*epoch)
+	switch *schedName {
+	case "edf":
+		cfg.Scheduler = core.EDF{}
+	case "wfq":
+		cfg.Scheduler = core.NewWFQ()
+	case "rr":
+		cfg.Scheduler = core.RoundRobin{}
+	default:
+		fmt.Fprintf(os.Stderr, "hotspotsim: unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+	switch *polName {
+	case "adaptive":
+		cfg.Policy = core.PolicyAdaptive
+	case "wlan":
+		cfg.Policy = core.PolicyWLANOnly
+	case "bt":
+		cfg.Policy = core.PolicyBTOnly
+	default:
+		fmt.Fprintf(os.Stderr, "hotspotsim: unknown policy %q\n", *polName)
+		os.Exit(2)
+	}
+
+	h := core.NewHotspot(*seed, cfg, *nClients)
+	if *outageAt > 0 {
+		at := sim.FromSeconds(*outageAt)
+		h.Sim().At(at, func() { h.Channel(core.WLAN).ForceState(channel.Bad) })
+		h.Sim().At(at+sim.FromSeconds(*outageLen), func() {
+			h.Channel(core.WLAN).ForceState(channel.Good)
+		})
+	}
+	rep := h.Run(sim.FromSeconds(*duration))
+
+	fmt.Println(rep)
+	fmt.Printf("urgent top-ups: %d\n", h.RM().Urgents())
+	if rep.QoSMaintained() {
+		fmt.Println("QoS: maintained (no playout underruns)")
+	} else {
+		fmt.Printf("QoS: %d underruns, %.1fs total stall\n",
+			rep.TotalUnderruns, rep.TotalStall.Seconds())
+	}
+	if *showSlots {
+		fmt.Println("\nschedule:")
+		for _, s := range rep.Slots {
+			fmt.Printf("  %-9s %s\n", s.Kind, s)
+		}
+	}
+}

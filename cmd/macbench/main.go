@@ -1,0 +1,107 @@
+// Command macbench compares the power-saving MAC protocols from the
+// paper's Section 1 survey — CAM (plain DCF), 802.11 PSM and EC-MAC — on a
+// configurable downlink load, printing per-protocol client power,
+// collisions and delivery statistics.
+//
+// Example:
+//
+//	macbench -stations 4 -rate 16 -duration 30
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/mac/dcf"
+	"repro/internal/mac/ecmac"
+	"repro/internal/mac/psm"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		stationsN = flag.Int("stations", 4, "number of client stations")
+		rateKBs   = flag.Float64("rate", 16, "downlink KB/s per station")
+		duration  = flag.Float64("duration", 30, "simulated seconds")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	chunk := 2000
+	interval := sim.FromSeconds(float64(chunk) / (*rateKBs * 1024))
+	dur := sim.FromSeconds(*duration)
+
+	t := stats.NewTable(
+		fmt.Sprintf("MAC comparison — %d stations, %.0f KB/s each, %.0fs",
+			*stationsN, *rateKBs, *duration),
+		"protocol", "client avg W", "collisions", "frames delivered")
+
+	camW, camColl, camRecv := runDCF(*seed, *stationsN, chunk, interval, dur, false)
+	t.AddRow("CAM (DCF)", fmt.Sprintf("%.3f", camW), fmt.Sprintf("%d", camColl), fmt.Sprintf("%d", camRecv))
+
+	psmW, psmColl, psmRecv := runDCF(*seed, *stationsN, chunk, interval, dur, true)
+	t.AddRow("802.11 PSM", fmt.Sprintf("%.3f", psmW), fmt.Sprintf("%d", psmColl), fmt.Sprintf("%d", psmRecv))
+
+	ecW, ecRecv := runECMAC(*seed, *stationsN, chunk, interval, dur)
+	t.AddRow("EC-MAC", fmt.Sprintf("%.3f", ecW), "0", fmt.Sprintf("%d", ecRecv))
+
+	fmt.Println(t)
+}
+
+func runDCF(seed int64, n, chunk int, interval, dur sim.Time, ps bool) (float64, int, int) {
+	s := sim.New(seed)
+	m := dcf.NewMedium(s, dcf.Default80211b(), nil)
+	apDev := radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle)
+	ap := psm.NewAP(s, m, apDev, psm.DefaultConfig())
+	devs := make([]*radio.Device, n)
+	recv := 0
+	for i := 0; i < n; i++ {
+		devs[i] = radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle)
+		if ps {
+			cl := psm.NewClient(s, m, devs[i], ap, i, psm.DefaultConfig())
+			cl.OnData = func(*frame.Frame) { recv++ }
+		} else {
+			st := dcf.NewStation(i, m, devs[i])
+			st.OnReceive = func(f *frame.Frame) {
+				if f.Kind == frame.Data {
+					recv++
+				}
+			}
+		}
+	}
+	sim.NewTicker(s, interval, func() {
+		for i := 0; i < n; i++ {
+			ap.Deliver(i, chunk)
+		}
+	})
+	s.RunUntil(dur)
+	var w float64
+	for _, d := range devs {
+		w += d.Meter().AveragePower()
+	}
+	return w / float64(n), m.Stats().Collisions, recv
+}
+
+func runECMAC(seed int64, n, chunk int, interval, dur sim.Time) (float64, int) {
+	s := sim.New(seed)
+	bs := radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle)
+	net := ecmac.NewNetwork(s, ecmac.DefaultConfig(), bs)
+	for i := 0; i < n; i++ {
+		net.Register(i, radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle))
+	}
+	net.Start()
+	sim.NewTicker(s, interval, func() {
+		for i := 0; i < n; i++ {
+			net.Deliver(i, chunk)
+		}
+	})
+	s.RunUntil(dur)
+	var w float64
+	for i := 0; i < n; i++ {
+		w += net.StationEnergy(i)
+	}
+	return w / float64(n), net.Stats().PacketsDeliv
+}

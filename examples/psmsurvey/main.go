@@ -1,0 +1,87 @@
+// PSM survey: drive the MAC-level substrates directly — plain DCF (CAM),
+// 802.11 power-save mode and EC-MAC — under an identical downlink load and
+// print where each one's energy goes (state residency breakdown). This is
+// the Section 1 MAC survey of the paper made executable.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/mac/dcf"
+	"repro/internal/mac/ecmac"
+	"repro/internal/mac/psm"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+const (
+	load     = 2000                  // bytes per delivery
+	interval = 125 * sim.Millisecond // 16 KB/s
+	duration = 30 * sim.Second
+)
+
+func main() {
+	fmt.Println("Downlink 16 KB/s to one client for 30 s; where does the energy go?")
+	fmt.Println()
+
+	camDev := runCAM()
+	report("CAM (plain DCF, always listening)", camDev)
+
+	psmDev := runPSM()
+	report("802.11 PSM (TIM-triggered doze)", psmDev)
+
+	ecDev := runECMAC()
+	report("EC-MAC (broadcast schedule, exact doze windows)", ecDev)
+}
+
+func report(name string, dev *radio.Device) {
+	m := dev.Meter()
+	fmt.Printf("%s\n", name)
+	fmt.Printf("  average power: %.3f W (total %.1f J)\n", m.AveragePower(), m.TotalEnergy())
+	for _, st := range radio.States() {
+		frac := m.StateFraction(st)
+		if frac < 0.0005 {
+			continue
+		}
+		fmt.Printf("  %-6s %5.1f%% of time, %6.2f J\n", st, frac*100, m.StateEnergy(st))
+	}
+	fmt.Println()
+}
+
+func runCAM() *radio.Device {
+	s := sim.New(1)
+	m := dcf.NewMedium(s, dcf.Default80211b(), nil)
+	ap := psm.NewAP(s, m, radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle), psm.DefaultConfig())
+	dev := radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle)
+	st := dcf.NewStation(0, m, dev)
+	_ = st
+	sim.NewTicker(s, interval, func() { ap.Deliver(0, load) })
+	s.RunUntil(duration)
+	return dev
+}
+
+func runPSM() *radio.Device {
+	s := sim.New(1)
+	m := dcf.NewMedium(s, dcf.Default80211b(), nil)
+	ap := psm.NewAP(s, m, radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle), psm.DefaultConfig())
+	dev := radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle)
+	cl := psm.NewClient(s, m, dev, ap, 0, psm.DefaultConfig())
+	recv := 0
+	cl.OnData = func(*frame.Frame) { recv++ }
+	sim.NewTicker(s, interval, func() { ap.Deliver(0, load) })
+	s.RunUntil(duration)
+	return dev
+}
+
+func runECMAC() *radio.Device {
+	s := sim.New(1)
+	bs := radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle)
+	net := ecmac.NewNetwork(s, ecmac.DefaultConfig(), bs)
+	dev := radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle)
+	net.Register(0, dev)
+	net.Start()
+	sim.NewTicker(s, interval, func() { net.Deliver(0, load) })
+	s.RunUntil(duration)
+	return dev
+}

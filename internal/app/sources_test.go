@@ -1,0 +1,155 @@
+package app
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCBREmitsAtRate(t *testing.T) {
+	s := sim.New(1)
+	src := MP3CBR(s) // 16 KB/s in 4096-byte chunks: every 256 ms
+	var total int
+	src.Start(func(c Chunk) { total += c.Bytes })
+	s.RunUntil(10 * sim.Second)
+	want := int(10*16000/4096) * 4096 // 39 chunks
+	if total != want {
+		t.Errorf("emitted %d bytes in 10s, want %d", total, want)
+	}
+	if src.Emitted() != total {
+		t.Error("Emitted() disagrees with sink")
+	}
+}
+
+func TestCBRStops(t *testing.T) {
+	s := sim.New(2)
+	src := NewCBR(s, 80e3, 1000)
+	n := 0
+	src.Start(func(Chunk) { n++ })
+	s.RunUntil(sim.Second)
+	src.Stop()
+	before := n
+	s.RunUntil(2 * sim.Second)
+	if n != before {
+		t.Error("source kept emitting after Stop")
+	}
+}
+
+func TestCBRDoubleStartPanics(t *testing.T) {
+	s := sim.New(3)
+	src := NewCBR(s, 80e3, 1000)
+	src.Start(func(Chunk) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("double start accepted")
+		}
+	}()
+	src.Start(func(Chunk) {})
+}
+
+func TestLayeredSplitsLayers(t *testing.T) {
+	s := sim.New(4)
+	src := NewLayered(s, 128e3, 768e3)
+	var audio, video int
+	src.Start(func(c Chunk) {
+		if c.Layer == 0 {
+			audio += c.Bytes
+		} else {
+			video += c.Bytes
+		}
+	})
+	s.RunUntil(10 * sim.Second)
+	if audio == 0 || video == 0 {
+		t.Fatalf("audio=%d video=%d, want both nonzero", audio, video)
+	}
+	// Video at 6x audio rate: ratio should be near 6.
+	ratio := float64(video) / float64(audio)
+	if ratio < 4 || ratio > 8 {
+		t.Errorf("video/audio ratio = %.1f, want ≈ 6", ratio)
+	}
+}
+
+func TestLayeredVideoToggle(t *testing.T) {
+	s := sim.New(5)
+	src := NewLayered(s, 128e3, 768e3)
+	var video int
+	src.Start(func(c Chunk) {
+		if c.Layer == 1 {
+			video += c.Bytes
+		}
+	})
+	s.RunUntil(2 * sim.Second)
+	src.SetVideo(false)
+	if src.VideoOn() {
+		t.Error("toggle failed")
+	}
+	snapshot := video
+	s.RunUntil(10 * sim.Second)
+	if video != snapshot {
+		t.Error("video kept flowing after SetVideo(false)")
+	}
+	src.SetVideo(true)
+	s.RunUntil(12 * sim.Second)
+	if video == snapshot {
+		t.Error("video did not resume")
+	}
+}
+
+func TestOnOffAlternates(t *testing.T) {
+	s := sim.New(6)
+	src := NewOnOff(s, 2*sim.Second, 2*sim.Second, 1e6)
+	var total int
+	src.Start(func(c Chunk) { total += c.Bytes })
+	s.RunUntil(60 * sim.Second)
+	src.Stop()
+	if total == 0 {
+		t.Fatal("on/off source emitted nothing")
+	}
+	// ~50% duty cycle at 1 Mb/s over 60 s ≈ 3.75 MB; accept a wide band.
+	mean := 60.0 / 2 * 1e6 / 8
+	if float64(total) < mean*0.4 || float64(total) > mean*1.6 {
+		t.Errorf("emitted %d bytes, want around %.0f", total, mean)
+	}
+}
+
+func TestOnOffStops(t *testing.T) {
+	s := sim.New(7)
+	src := NewOnOff(s, sim.Second, sim.Second, 1e6)
+	n := 0
+	src.Start(func(Chunk) { n++ })
+	s.RunUntil(5 * sim.Second)
+	src.Stop()
+	before := n
+	s.RunUntil(10 * sim.Second)
+	if n != before {
+		t.Error("emitted after Stop")
+	}
+}
+
+func TestFileEmitsExactly(t *testing.T) {
+	s := sim.New(8)
+	src := NewFile(s, 200_000)
+	var total, chunks int
+	src.Start(func(c Chunk) { total += c.Bytes; chunks++ })
+	if total != 200_000 {
+		t.Errorf("emitted %d, want 200000", total)
+	}
+	if chunks != 4 { // 3 × 64 KB + 1 × remainder
+		t.Errorf("chunks = %d, want 4", chunks)
+	}
+}
+
+func TestSourcesDeterministic(t *testing.T) {
+	run := func() int {
+		s := sim.New(42)
+		src := NewOnOff(s, sim.Second, 3*sim.Second, 2e6)
+		total := 0
+		src.Start(func(c Chunk) { total += c.Bytes })
+		s.RunUntil(30 * sim.Second)
+		src.Stop()
+		return total
+	}
+	if run() != run() {
+		t.Error("same seed produced different traffic")
+	}
+}

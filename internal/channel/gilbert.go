@@ -1,0 +1,261 @@
+// Package channel models the wireless channel: a two-state Gilbert–Elliott
+// error process, bit-error-rate to packet-error-rate conversion, channel
+// predictors of varying sophistication, and the link-quality monitor the
+// Hotspot resource manager consults when deciding which interface a client
+// should use.
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// LinkState identifies the Gilbert–Elliott channel state.
+type LinkState int
+
+const (
+	// Good is the low-error channel state.
+	Good LinkState = iota
+	// Bad is the high-error (deep fade / interference) state.
+	Bad
+)
+
+// String names the state.
+func (s LinkState) String() string {
+	if s == Good {
+		return "good"
+	}
+	return "bad"
+}
+
+// GEParams configures a Gilbert–Elliott channel.
+type GEParams struct {
+	// MeanGood and MeanBad are the mean sojourn times of the two states.
+	// State holding times are exponentially distributed.
+	MeanGood sim.Time
+	MeanBad  sim.Time
+	// BERGood and BERBad are the bit error rates within each state.
+	BERGood float64
+	BERBad  float64
+}
+
+// Validate checks the parameter set.
+func (p GEParams) Validate() error {
+	if p.MeanGood <= 0 || p.MeanBad <= 0 {
+		return fmt.Errorf("channel: sojourn times must be positive")
+	}
+	for _, b := range []float64{p.BERGood, p.BERBad} {
+		if b < 0 || b > 0.5 {
+			return fmt.Errorf("channel: BER %g outside [0, 0.5]", b)
+		}
+	}
+	if p.BERBad < p.BERGood {
+		return fmt.Errorf("channel: bad-state BER below good-state BER")
+	}
+	return nil
+}
+
+// DefaultGE returns a typical indoor-WLAN channel: long good periods with
+// occasional half-second fades two orders of magnitude worse.
+func DefaultGE() GEParams {
+	return GEParams{
+		MeanGood: 10 * sim.Second,
+		MeanBad:  500 * sim.Millisecond,
+		BERGood:  1e-6,
+		BERBad:   1e-3,
+	}
+}
+
+// GilbertElliott is a time-driven two-state Markov channel. State changes
+// are scheduled on the simulator; packet-error sampling consults the state
+// at transmission time.
+type GilbertElliott struct {
+	sim    *sim.Simulator
+	params GEParams
+	rng    *rand.Rand
+
+	state     LinkState
+	changes   int
+	listeners []func(t sim.Time, s LinkState)
+
+	timeGood sim.Time
+	timeBad  sim.Time
+	lastAt   sim.Time
+
+	frozen bool // when scripted control takes over, stop autonomous flips
+	flip   *sim.Event
+}
+
+// NewGilbertElliott creates the channel in the Good state and schedules its
+// autonomous state process.
+func NewGilbertElliott(s *sim.Simulator, p GEParams) *GilbertElliott {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	c := &GilbertElliott{sim: s, params: p, rng: s.Rand(), state: Good, lastAt: s.Now()}
+	c.scheduleFlip()
+	return c
+}
+
+// State returns the current channel state.
+func (c *GilbertElliott) State() LinkState { return c.state }
+
+// Params returns the channel parameters.
+func (c *GilbertElliott) Params() GEParams { return c.params }
+
+// Changes returns the number of state transitions so far.
+func (c *GilbertElliott) Changes() int { return c.changes }
+
+// OnChange registers a callback invoked on every state transition.
+func (c *GilbertElliott) OnChange(fn func(t sim.Time, s LinkState)) {
+	c.listeners = append(c.listeners, fn)
+}
+
+// BER returns the bit error rate of the current state.
+func (c *GilbertElliott) BER() float64 {
+	if c.state == Good {
+		return c.params.BERGood
+	}
+	return c.params.BERBad
+}
+
+// PacketErrorProb returns the probability that a packet of n bytes suffers at
+// least one uncorrected bit error in the current state: 1-(1-ber)^(8n).
+func (c *GilbertElliott) PacketErrorProb(bytes int) float64 {
+	return PERFromBER(c.BER(), bytes)
+}
+
+// SamplePacketError samples whether a packet of n bytes is corrupted.
+func (c *GilbertElliott) SamplePacketError(bytes int) bool {
+	return c.rng.Float64() < c.PacketErrorProb(bytes)
+}
+
+// SampleBitErrors samples how many bit errors land in a block of n bytes,
+// using a binomial draw (exact for small n·ber via inversion, normal
+// approximation for large counts).
+func (c *GilbertElliott) SampleBitErrors(bytes int) int {
+	return sampleBinomial(c.rng, bytes*8, c.BER())
+}
+
+// Freeze stops the autonomous state process so tests and scripted scenarios
+// can control the state explicitly with ForceState.
+func (c *GilbertElliott) Freeze() {
+	c.frozen = true
+	if c.flip != nil {
+		c.sim.Cancel(c.flip)
+		c.flip = nil
+	}
+}
+
+// ForceState sets the channel state directly (for scripted scenarios such as
+// the paper's "conditions in the link change" episode).
+func (c *GilbertElliott) ForceState(s LinkState) {
+	if s != c.state {
+		c.transitionTo(s)
+	}
+}
+
+// TimeIn returns cumulative time spent in the given state.
+func (c *GilbertElliott) TimeIn(s LinkState) sim.Time {
+	c.accrue()
+	if s == Good {
+		return c.timeGood
+	}
+	return c.timeBad
+}
+
+func (c *GilbertElliott) accrue() {
+	now := c.sim.Now()
+	dt := now - c.lastAt
+	if dt > 0 {
+		if c.state == Good {
+			c.timeGood += dt
+		} else {
+			c.timeBad += dt
+		}
+	}
+	c.lastAt = now
+}
+
+func (c *GilbertElliott) scheduleFlip() {
+	mean := c.params.MeanGood
+	if c.state == Bad {
+		mean = c.params.MeanBad
+	}
+	hold := sim.FromSeconds(c.rng.ExpFloat64() * mean.Seconds())
+	if hold < sim.Microsecond {
+		hold = sim.Microsecond
+	}
+	c.flip = c.sim.Schedule(hold, func() {
+		if c.frozen {
+			return
+		}
+		if c.state == Good {
+			c.transitionTo(Bad)
+		} else {
+			c.transitionTo(Good)
+		}
+		c.scheduleFlip()
+	})
+}
+
+func (c *GilbertElliott) transitionTo(s LinkState) {
+	c.accrue()
+	c.state = s
+	c.changes++
+	for _, fn := range c.listeners {
+		fn(c.sim.Now(), s)
+	}
+}
+
+// PERFromBER converts a bit error rate into the packet error probability for
+// a packet of the given byte length, assuming independent bit errors.
+func PERFromBER(ber float64, bytes int) float64 {
+	if ber <= 0 || bytes <= 0 {
+		return 0
+	}
+	if ber >= 1 {
+		return 1
+	}
+	// 1 - (1-ber)^(8*bytes), computed in log space for numerical stability.
+	return -math.Expm1(float64(8*bytes) * math.Log1p(-ber))
+}
+
+// sampleBinomial draws Binomial(n, p). For small expected counts it uses
+// exact inversion; otherwise the normal approximation with clamping.
+func sampleBinomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	if mean < 30 {
+		// Inversion by counting exponential gaps between successes.
+		count := 0
+		logq := math.Log1p(-p)
+		i := 0
+		for {
+			gap := int(math.Floor(math.Log(1-rng.Float64()) / logq))
+			i += gap + 1
+			if i > n {
+				break
+			}
+			count++
+		}
+		return count
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	x := int(math.Round(mean + sd*rng.NormFloat64()))
+	if x < 0 {
+		x = 0
+	}
+	if x > n {
+		x = n
+	}
+	return x
+}

@@ -1,0 +1,100 @@
+package channel
+
+import (
+	"repro/internal/sim"
+)
+
+// Quality grades a link for the resource manager's interface-selection
+// policy. It is deliberately coarse: the paper's server switches interfaces
+// on "conditions in the link", not on raw SNR.
+type Quality int
+
+// Link quality grades.
+const (
+	QualityGood Quality = iota
+	QualityDegraded
+	QualityUnusable
+)
+
+// String names the grade.
+func (q Quality) String() string {
+	switch q {
+	case QualityGood:
+		return "good"
+	case QualityDegraded:
+		return "degraded"
+	default:
+		return "unusable"
+	}
+}
+
+// Monitor observes a Gilbert–Elliott channel through periodic probes and
+// exposes a smoothed quality grade plus loss statistics. The resource
+// manager owns one Monitor per (client, interface) pair.
+type Monitor struct {
+	sim     *sim.Simulator
+	ch      *GilbertElliott
+	period  sim.Time
+	ewma    float64 // smoothed bad-state indicator in [0,1]
+	alpha   float64
+	probes  int
+	badSeen int
+	ticker  *sim.Ticker
+}
+
+// MonitorConfig tunes a link monitor.
+type MonitorConfig struct {
+	// Period is the probe interval.
+	Period sim.Time
+	// Alpha is the EWMA smoothing weight for new observations (0,1].
+	Alpha float64
+}
+
+// DefaultMonitorConfig returns the configuration used by the Hotspot
+// scenarios: 250 ms probes, EWMA weight 0.3.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{Period: 250 * sim.Millisecond, Alpha: 0.3}
+}
+
+// NewMonitor attaches a probe-based monitor to a channel and starts probing.
+func NewMonitor(s *sim.Simulator, ch *GilbertElliott, cfg MonitorConfig) *Monitor {
+	if cfg.Period <= 0 {
+		cfg = DefaultMonitorConfig()
+	}
+	m := &Monitor{sim: s, ch: ch, period: cfg.Period, alpha: cfg.Alpha}
+	m.ticker = sim.NewTicker(s, cfg.Period, m.probe)
+	return m
+}
+
+func (m *Monitor) probe() {
+	m.probes++
+	obs := 0.0
+	if m.ch.State() == Bad {
+		obs = 1.0
+		m.badSeen++
+	}
+	m.ewma = m.alpha*obs + (1-m.alpha)*m.ewma
+}
+
+// Stop halts probing.
+func (m *Monitor) Stop() { m.ticker.Stop() }
+
+// BadFraction returns the smoothed bad-state indicator in [0,1].
+func (m *Monitor) BadFraction() float64 { return m.ewma }
+
+// Probes returns the number of probes taken.
+func (m *Monitor) Probes() int { return m.probes }
+
+// Quality maps the smoothed indicator to a grade. Thresholds chosen so that
+// a single isolated fade degrades but does not condemn a link, while a
+// persistent fade marks it unusable.
+func (m *Monitor) Quality() Quality {
+	switch {
+	case m.ewma < 0.15:
+		return QualityGood
+	case m.ewma < 0.6:
+		return QualityDegraded
+	default:
+		return QualityUnusable
+	}
+}

@@ -1,0 +1,145 @@
+package dvs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func taskSet(utilization, usage float64) []Task {
+	// Three tasks sharing the utilization at fmax = 600 MHz.
+	f := DefaultCPU().FMax()
+	return []Task{
+		{Name: "a", Period: 20 * sim.Millisecond, WCETCycles: utilization / 3 * 0.020 * f, UsageFactor: usage},
+		{Name: "b", Period: 50 * sim.Millisecond, WCETCycles: utilization / 3 * 0.050 * f, UsageFactor: usage},
+		{Name: "c", Period: 100 * sim.Millisecond, WCETCycles: utilization / 3 * 0.100 * f, UsageFactor: usage},
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := DefaultCPU().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultCPU()
+	bad.Frequencies = []float64{600e6, 300e6}
+	if err := bad.Validate(); err == nil {
+		t.Error("descending ladder accepted")
+	}
+	if err := (Task{Name: "x", Period: 0}).Validate(); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestPowerModelCubic(t *testing.T) {
+	c := DefaultCPU()
+	full := c.Power(c.FMax())
+	half := c.Power(c.FMax() / 2)
+	// Dynamic part should drop ~8x at half clock.
+	dynFull := full - c.StaticW
+	dynHalf := half - c.StaticW
+	if dynHalf > dynFull/7 {
+		t.Errorf("dynamic power at half clock = %v, want ≈ %v/8", dynHalf, dynFull)
+	}
+	if c.Power(0) != c.StaticW {
+		t.Error("idle power should be the static floor")
+	}
+}
+
+func TestStepFor(t *testing.T) {
+	c := DefaultCPU()
+	if got := c.StepFor(200e6); got != 300e6 {
+		t.Errorf("StepFor(200M) = %v, want 300M", got)
+	}
+	if got := c.StepFor(700e6); got != 600e6 {
+		t.Errorf("StepFor above ladder = %v, want fmax", got)
+	}
+}
+
+func TestNoDVSMeetsAllDeadlinesFeasibleSet(t *testing.T) {
+	s := sim.New(1)
+	r := Run(s, DefaultCPU(), NoDVS, taskSet(0.6, 1.0), 10*sim.Second)
+	if r.DeadlineMisses != 0 {
+		t.Errorf("misses = %d on a feasible set at fmax", r.DeadlineMisses)
+	}
+	if r.Jobs == 0 {
+		t.Fatal("no jobs released")
+	}
+}
+
+func TestStaticDVSSavesEnergyMeetsDeadlines(t *testing.T) {
+	full := Run(sim.New(1), DefaultCPU(), NoDVS, taskSet(0.45, 1.0), 10*sim.Second)
+	static := Run(sim.New(1), DefaultCPU(), StaticDVS, taskSet(0.45, 1.0), 10*sim.Second)
+	if static.DeadlineMisses != 0 {
+		t.Errorf("static DVS missed %d deadlines at 45%% utilization", static.DeadlineMisses)
+	}
+	if static.EnergyJ >= full.EnergyJ {
+		t.Errorf("static %.2f J should beat no-DVS %.2f J", static.EnergyJ, full.EnergyJ)
+	}
+}
+
+func TestCycleConservingReclaimsSlack(t *testing.T) {
+	// Jobs use only 40% of their WCET: cycle-conserving should beat static
+	// (which provisions for WCET) while still meeting deadlines.
+	set := taskSet(0.7, 0.4)
+	static := Run(sim.New(1), DefaultCPU(), StaticDVS, set, 10*sim.Second)
+	cc := Run(sim.New(1), DefaultCPU(), CycleConserving, set, 10*sim.Second)
+	if cc.DeadlineMisses != 0 {
+		t.Errorf("CC-EDF missed %d deadlines", cc.DeadlineMisses)
+	}
+	if cc.EnergyJ >= static.EnergyJ {
+		t.Errorf("cycle-conserving %.2f J should beat static %.2f J with 40%% usage",
+			cc.EnergyJ, static.EnergyJ)
+	}
+}
+
+func TestEnergyOrderingAllPolicies(t *testing.T) {
+	set := taskSet(0.5, 0.5)
+	no := Run(sim.New(1), DefaultCPU(), NoDVS, set, 10*sim.Second)
+	st := Run(sim.New(1), DefaultCPU(), StaticDVS, set, 10*sim.Second)
+	cc := Run(sim.New(1), DefaultCPU(), CycleConserving, set, 10*sim.Second)
+	if !(cc.EnergyJ <= st.EnergyJ && st.EnergyJ < no.EnergyJ) {
+		t.Errorf("ordering broken: no=%.2f static=%.2f cc=%.2f", no.EnergyJ, st.EnergyJ, cc.EnergyJ)
+	}
+	for _, r := range []Result{no, st, cc} {
+		if r.DeadlineMisses != 0 {
+			t.Errorf("%s: %d misses on feasible set", r.Policy, r.DeadlineMisses)
+		}
+	}
+}
+
+func TestOverloadMissesDeadlines(t *testing.T) {
+	s := sim.New(1)
+	r := Run(s, DefaultCPU(), NoDVS, taskSet(1.4, 1.0), 5*sim.Second)
+	if r.DeadlineMisses == 0 {
+		t.Error("140% utilization met every deadline — scheduler too generous")
+	}
+}
+
+func TestSlowdownIncreasesResponseTime(t *testing.T) {
+	set := taskSet(0.4, 1.0)
+	no := Run(sim.New(1), DefaultCPU(), NoDVS, set, 10*sim.Second)
+	st := Run(sim.New(1), DefaultCPU(), StaticDVS, set, 10*sim.Second)
+	if st.MeanResponse <= no.MeanResponse {
+		t.Errorf("DVS response %v should exceed full-clock %v", st.MeanResponse, no.MeanResponse)
+	}
+}
+
+func TestBusyFractionTracksSpeed(t *testing.T) {
+	set := taskSet(0.3, 1.0)
+	no := Run(sim.New(1), DefaultCPU(), NoDVS, set, 10*sim.Second)
+	st := Run(sim.New(1), DefaultCPU(), StaticDVS, set, 10*sim.Second)
+	if st.BusyFraction <= no.BusyFraction {
+		t.Error("slower clock should be busy longer")
+	}
+	if no.BusyFraction < 0.25 || no.BusyFraction > 0.35 {
+		t.Errorf("no-DVS busy fraction %.3f, want ≈ utilization 0.3", no.BusyFraction)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []PolicyKind{NoDVS, StaticDVS, CycleConserving} {
+		if p.String() == "" {
+			t.Error("missing name")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameSizes(t *testing.T) {
+	cases := []struct {
+		f    *Frame
+		want int
+	}{
+		{NewAck(0, 1), AckSize},
+		{NewPSPoll(3, 1), PSPollSize},
+		{&Frame{Kind: RTS}, RTSSize},
+		{&Frame{Kind: CTS}, CTSSize},
+		{NewData(0, 1, 0, 1500), MACHeader + 1500},
+		{NewData(0, 1, 0, 0), MACHeader},
+		{NewBeacon(nil), BeaconBase},
+	}
+	for i, c := range cases {
+		if got := c.f.Size(); got != c.want {
+			t.Errorf("case %d (%v): Size() = %d, want %d", i, c.f.Kind, got, c.want)
+		}
+	}
+}
+
+func TestNewDataValidatesPayload(t *testing.T) {
+	for _, payload := range []int{-1, MaxPayload + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("payload %d did not panic", payload)
+				}
+			}()
+			NewData(0, 1, 0, payload)
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{Data, Ack, Beacon, PSPoll, RTS, CTS, Schedule} {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should render something")
+	}
+}
+
+func TestTIMSetClearIndicated(t *testing.T) {
+	tim := NewTIM(3)
+	if tim.Any() {
+		t.Error("fresh TIM indicates traffic")
+	}
+	tim.Set(5)
+	tim.Set(12)
+	if !tim.Indicated(5) || !tim.Indicated(12) || tim.Indicated(3) {
+		t.Error("Indicated wrong")
+	}
+	if tim.Stations() != 2 {
+		t.Errorf("Stations = %d, want 2", tim.Stations())
+	}
+	tim.Clear(5)
+	if tim.Indicated(5) {
+		t.Error("Clear did not clear")
+	}
+	if !tim.Any() {
+		t.Error("Any false with one station set")
+	}
+}
+
+func TestTIMNegativeStationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative station did not panic")
+		}
+	}()
+	NewTIM(1).Set(-1)
+}
+
+func TestTIMEncodedSizePartialBitmap(t *testing.T) {
+	tim := NewTIM(1)
+	if got := tim.EncodedSize(); got != 5 {
+		t.Errorf("empty TIM size = %d, want 5", got)
+	}
+	tim.Set(0)
+	if got := tim.EncodedSize(); got != 5 {
+		t.Errorf("one-station TIM size = %d, want 5", got)
+	}
+	// Stations 200..207 live in octet 25; partial bitmap still 1 octet.
+	tim2 := NewTIM(1)
+	tim2.Set(200)
+	tim2.Set(207)
+	if got := tim2.EncodedSize(); got != 5 {
+		t.Errorf("high-octet TIM size = %d, want 5 (partial bitmap)", got)
+	}
+	// Span from octet 0 to octet 25 = 26 octets.
+	tim2.Set(0)
+	if got := tim2.EncodedSize(); got != 4+26 {
+		t.Errorf("wide TIM size = %d, want 30", got)
+	}
+}
+
+func TestTIMEncodeDecodeRoundTrip(t *testing.T) {
+	tim := NewTIM(3)
+	tim.DTIMCount = 2
+	tim.Broadcast = true
+	for _, sta := range []int{1, 9, 17, 64, 65} {
+		tim.Set(sta)
+	}
+	dec, err := DecodeTIM(tim.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.DTIMCount != 2 || dec.DTIMPeriod != 3 || !dec.Broadcast {
+		t.Errorf("header fields lost: %+v", dec)
+	}
+	for _, sta := range []int{1, 9, 17, 64, 65} {
+		if !dec.Indicated(sta) {
+			t.Errorf("station %d lost in round trip", sta)
+		}
+	}
+	if dec.Stations() != 5 {
+		t.Errorf("decoded %d stations, want 5", dec.Stations())
+	}
+}
+
+func TestDecodeTIMTooShort(t *testing.T) {
+	if _, err := DecodeTIM([]byte{1, 2}); err == nil {
+		t.Error("short TIM decoded without error")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary station sets (ids bounded to
+// keep octet spans reasonable).
+func TestTIMRoundTripProperty(t *testing.T) {
+	prop := func(stations []uint8, dtimCount uint8, bcast bool) bool {
+		tim := NewTIM(4)
+		tim.DTIMCount = int(dtimCount % 4)
+		tim.Broadcast = bcast
+		want := make(map[int]bool)
+		for _, s := range stations {
+			id := int(s) % 120
+			tim.Set(id)
+			want[id] = true
+		}
+		dec, err := DecodeTIM(tim.Encode())
+		if err != nil {
+			return false
+		}
+		if dec.Stations() != len(want) || dec.Broadcast != bcast ||
+			dec.DTIMCount != int(dtimCount%4) {
+			return false
+		}
+		for id := range want {
+			if !dec.Indicated(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBeaconSizeGrowsWithTIM(t *testing.T) {
+	tim := NewTIM(1)
+	b := NewBeacon(tim)
+	small := b.Size()
+	tim.Set(0)
+	tim.Set(100)
+	if b.Size() <= small {
+		t.Error("beacon size should grow with wider TIM")
+	}
+}

@@ -1,0 +1,479 @@
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// ARQKind selects the retransmission discipline.
+type ARQKind int
+
+// Retransmission disciplines.
+const (
+	// NoARQ sends each packet once; uncorrectable packets are lost.
+	NoARQ ARQKind = iota
+	// StopAndWait waits for each packet's acknowledgement before the next.
+	StopAndWait
+	// GoBackN pipelines a window and rewinds to the first loss.
+	GoBackN
+	// SelectiveRepeat pipelines a window and retransmits only losses.
+	SelectiveRepeat
+)
+
+// String names the discipline.
+func (k ARQKind) String() string {
+	switch k {
+	case NoARQ:
+		return "no-arq"
+	case StopAndWait:
+		return "stop-and-wait"
+	case GoBackN:
+		return "go-back-n"
+	case SelectiveRepeat:
+		return "selective-repeat"
+	default:
+		return fmt.Sprintf("arq(%d)", int(k))
+	}
+}
+
+// Params configures a link-layer transfer.
+type Params struct {
+	// PacketBytes is the payload per packet before FEC expansion.
+	PacketBytes int
+	// HeaderBytes is the per-packet link header (not FEC protected, small
+	// enough that we fold its errors into the coded block).
+	HeaderBytes int
+	// Code is the FEC applied to each packet.
+	Code Code
+	// ARQ is the retransmission discipline.
+	ARQ ARQKind
+	// Window is the pipeline depth for GoBackN/SelectiveRepeat.
+	Window int
+	// BitRate is the link rate in bits/second.
+	BitRate float64
+	// PropDelay is the one-way propagation delay.
+	PropDelay sim.Time
+	// AckBytes is the acknowledgement size; ACKs are assumed error-free
+	// (they are short and heavily protected), a standard modelling choice.
+	AckBytes int
+	// RetryLimit bounds per-packet retransmissions (ARQ modes). Exceeding
+	// it counts the packet as lost.
+	RetryLimit int
+
+	// Deadline, when nonzero, is an absolute simulation time after which
+	// the transfer stops starting new work and returns a partial result.
+	// Adaptive ARQ uses it to keep adaptation epochs time-bounded.
+	Deadline sim.Time
+
+	// Radio power model (client-grade WNIC by default).
+	TxPower, RxPower, IdlePower float64
+}
+
+// DefaultParams returns the E8/E9 baseline: 1400-byte packets over a
+// 2 Mb/s link with an 802.11b-class power profile.
+func DefaultParams() Params {
+	return Params{
+		PacketBytes: 1400,
+		HeaderBytes: 16,
+		Code:        NoCode(1400),
+		ARQ:         SelectiveRepeat,
+		Window:      8,
+		BitRate:     2e6,
+		PropDelay:   5 * sim.Microsecond,
+		AckBytes:    16,
+		RetryLimit:  16,
+		TxPower:     1.65,
+		RxPower:     1.40,
+		IdlePower:   1.35,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.PacketBytes <= 0 || p.BitRate <= 0 {
+		return fmt.Errorf("link: invalid packet/rate")
+	}
+	if err := p.Code.Validate(); err != nil {
+		return err
+	}
+	if p.Code.K != p.PacketBytes {
+		return fmt.Errorf("link: code block (%d) must equal packet payload (%d)", p.Code.K, p.PacketBytes)
+	}
+	if (p.ARQ == GoBackN || p.ARQ == SelectiveRepeat) && p.Window <= 0 {
+		return fmt.Errorf("link: window must be positive for pipelined ARQ")
+	}
+	return nil
+}
+
+// wireBytes returns a packet's on-air size after FEC and header.
+func (p Params) wireBytes() int { return p.Code.N + p.HeaderBytes }
+
+// airTime returns the on-air time of one data packet.
+func (p Params) airTime() sim.Time {
+	return sim.FromSeconds(float64(p.wireBytes()*8) / p.BitRate)
+}
+
+// ackTime returns the on-air time of one acknowledgement.
+func (p Params) ackTime() sim.Time {
+	return sim.FromSeconds(float64(p.AckBytes*8) / p.BitRate)
+}
+
+// Result reports a transfer's outcome.
+type Result struct {
+	DeliveredPackets int
+	LostPackets      int
+	Transmissions    int // data packets put on the air, incl. retransmissions
+	Acks             int
+	Duration         sim.Time
+	GoodputBps       float64
+	EnergyJ          float64 // sender + receiver
+	EnergyPerBitJ    float64 // per *delivered* payload bit
+}
+
+// Transfer moves totalPackets packets across the channel under the given
+// parameters and returns the outcome. Energy combines both radios: TX/RX
+// airtime at their respective powers plus idle listening for the rest of
+// the transfer duration.
+func Transfer(s *sim.Simulator, ch *channel.GilbertElliott, p Params, totalPackets int) Result {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if totalPackets <= 0 {
+		panic("link: totalPackets must be positive")
+	}
+	eng := &engine{s: s, ch: ch, p: p, total: totalPackets}
+	switch p.ARQ {
+	case NoARQ:
+		eng.runNoARQ()
+	case StopAndWait:
+		eng.runStopAndWait()
+	case GoBackN:
+		eng.runGoBackN()
+	case SelectiveRepeat:
+		eng.runSelectiveRepeat()
+	}
+	s.Run()
+	return eng.result()
+}
+
+// engine holds shared transfer state.
+type engine struct {
+	s     *sim.Simulator
+	ch    *channel.GilbertElliott
+	p     Params
+	total int
+
+	startAt   sim.Time
+	endAt     sim.Time
+	delivered int
+	lost      int
+	txCount   int
+	ackCount  int
+	started   bool
+	done      bool
+}
+
+func (e *engine) begin() {
+	if !e.started {
+		e.started = true
+		e.startAt = e.s.Now()
+	}
+}
+
+// expired reports whether the transfer's deadline has passed.
+func (e *engine) expired() bool {
+	return e.p.Deadline > 0 && e.s.Now() >= e.p.Deadline
+}
+
+// finish stamps the transfer end and stops the simulator loop: the channel
+// process schedules events forever, so Transfer's Run would never drain.
+// Engines are reused never; the done flag also inert-izes any of this
+// engine's events that remain queued when the same simulator hosts a
+// subsequent transfer (adaptive ARQ runs one per epoch).
+func (e *engine) finish() {
+	if e.done {
+		return
+	}
+	e.done = true
+	e.endAt = e.s.Now()
+	e.s.Stop()
+}
+
+// sendPacket models one data-packet transmission: occupies airtime, then
+// samples the channel at completion. ok means the FEC decoded the block.
+func (e *engine) sendPacket(done func(ok bool)) {
+	e.begin()
+	e.txCount++
+	e.s.Schedule(e.p.airTime(), func() {
+		errs := e.ch.SampleBitErrors(e.p.wireBytes())
+		done(e.p.Code.Corrects(errs))
+	})
+}
+
+// ackDelay is the time from data-packet completion to ACK receipt.
+func (e *engine) ackDelay() sim.Time {
+	return 2*e.p.PropDelay + e.p.ackTime()
+}
+
+func (e *engine) result() Result {
+	dur := e.endAt - e.startAt
+	r := Result{
+		DeliveredPackets: e.delivered,
+		LostPackets:      e.lost,
+		Transmissions:    e.txCount,
+		Acks:             e.ackCount,
+		Duration:         dur,
+	}
+	if dur <= 0 {
+		return r
+	}
+	payloadBits := float64(e.delivered * e.p.PacketBytes * 8)
+	r.GoodputBps = payloadBits / dur.Seconds()
+
+	air := e.p.airTime().Seconds()
+	ack := e.p.ackTime().Seconds()
+	txTime := float64(e.txCount) * air
+	ackTime := float64(e.ackCount) * ack
+	total := dur.Seconds()
+	senderE := txTime*e.p.TxPower + ackTime*e.p.RxPower +
+		(total-txTime-ackTime)*e.p.IdlePower
+	receiverE := txTime*e.p.RxPower + ackTime*e.p.TxPower +
+		(total-txTime-ackTime)*e.p.IdlePower
+	r.EnergyJ = senderE + receiverE
+	if payloadBits > 0 {
+		r.EnergyPerBitJ = r.EnergyJ / payloadBits
+	}
+	return r
+}
+
+// --- NoARQ: fire and forget ---
+
+func (e *engine) runNoARQ() {
+	var sendNext func(i int)
+	sendNext = func(i int) {
+		if e.done {
+			return
+		}
+		if i >= e.total || e.expired() {
+			e.finish()
+			return
+		}
+		e.sendPacket(func(ok bool) {
+			if e.done {
+				return
+			}
+			if ok {
+				e.delivered++
+			} else {
+				e.lost++
+			}
+			sendNext(i + 1)
+		})
+	}
+	sendNext(0)
+}
+
+// --- Stop-and-wait ---
+
+func (e *engine) runStopAndWait() {
+	var sendIdx func(i, attempt int)
+	sendIdx = func(i, attempt int) {
+		if e.done {
+			return
+		}
+		if i >= e.total || e.expired() {
+			e.finish()
+			return
+		}
+		e.sendPacket(func(ok bool) {
+			if e.done {
+				return
+			}
+			// Receiver replies with an ACK/NACK after the round trip.
+			e.ackCount++
+			e.s.Schedule(e.ackDelay(), func() {
+				if e.done {
+					return
+				}
+				if ok {
+					e.delivered++
+					sendIdx(i+1, 0)
+					return
+				}
+				if attempt+1 > e.p.RetryLimit {
+					e.lost++
+					sendIdx(i+1, 0)
+					return
+				}
+				sendIdx(i, attempt+1)
+			})
+		})
+	}
+	sendIdx(0, 0)
+}
+
+// --- Go-back-N ---
+
+func (e *engine) runGoBackN() {
+	base, next := 0, 0
+	expected := 0 // receiver's in-order expectation
+	attempts := make(map[int]int)
+	sending := false
+
+	var pump func()
+	var onDataArrival func(seq int, ok bool)
+
+	pump = func() {
+		if e.done || sending {
+			return
+		}
+		if base >= e.total || (e.expired() && next <= base) {
+			e.finish()
+			return
+		}
+		if e.expired() || next >= base+e.p.Window || next >= e.total {
+			return // window full or deadline passed; wait for ACK drainage
+		}
+		seq := next
+		next++
+		sending = true
+		e.sendPacket(func(ok bool) {
+			if e.done {
+				return
+			}
+			sending = false
+			e.s.Schedule(e.p.PropDelay, func() { onDataArrival(seq, ok) })
+			pump()
+		})
+	}
+
+	onDataArrival = func(seq int, ok bool) {
+		if e.done {
+			return
+		}
+		// Receiver: in-order acceptance only.
+		if ok && seq == expected {
+			expected++
+			e.delivered++
+		}
+		// Cumulative ACK for everything below `expected`.
+		e.ackCount++
+		e.s.Schedule(e.p.PropDelay+e.p.ackTime(), func() {
+			if e.done {
+				return
+			}
+			if e.expired() {
+				// Account the final in-flight state, then stop.
+				if expected > base {
+					base = expected
+				}
+				e.finish()
+				return
+			}
+			if expected > base {
+				base = expected
+				for k := range attempts {
+					if k < base {
+						delete(attempts, k)
+					}
+				}
+				pump()
+				return
+			}
+			// Duplicate ACK: the window's head was lost — go back.
+			if seq >= base {
+				attempts[base]++
+				if attempts[base] > e.p.RetryLimit {
+					// Skip the poisoned head to avoid livelock; counts lost.
+					e.lost++
+					delete(attempts, base)
+					base++
+					if expected < base {
+						expected = base
+					}
+				}
+				next = base
+				pump()
+			}
+		})
+	}
+
+	pump()
+}
+
+// --- Selective repeat ---
+
+func (e *engine) runSelectiveRepeat() {
+	acked := make([]bool, e.total)
+	lostSet := make([]bool, e.total)
+	attempts := make(map[int]int)
+	base := 0
+	sending := false
+	var queue []int // retransmission queue
+	nextFresh := 0
+
+	var pump func()
+	pump = func() {
+		if e.done || sending {
+			return
+		}
+		// Advance base past acked/lost packets.
+		for base < e.total && (acked[base] || lostSet[base]) {
+			base++
+		}
+		if base >= e.total || e.expired() {
+			e.finish()
+			return
+		}
+		// Pick retransmission first, else a fresh packet inside the window.
+		seq := -1
+		for len(queue) > 0 {
+			cand := queue[0]
+			queue = queue[1:]
+			if !acked[cand] && !lostSet[cand] {
+				seq = cand
+				break
+			}
+		}
+		if seq == -1 {
+			if nextFresh < e.total && nextFresh < base+e.p.Window {
+				seq = nextFresh
+				nextFresh++
+			} else {
+				return // waiting for ACKs/NACKs
+			}
+		}
+		sending = true
+		e.sendPacket(func(ok bool) {
+			if e.done {
+				return
+			}
+			sending = false
+			e.s.Schedule(e.ackDelay(), func() {
+				if e.done {
+					return
+				}
+				e.ackCount++
+				if ok {
+					if !acked[seq] {
+						acked[seq] = true
+						e.delivered++
+					}
+				} else {
+					attempts[seq]++
+					if attempts[seq] > e.p.RetryLimit {
+						lostSet[seq] = true
+						e.lost++
+					} else {
+						queue = append(queue, seq)
+					}
+				}
+				pump()
+			})
+			pump()
+		})
+	}
+	pump()
+}

@@ -1,0 +1,318 @@
+package link
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// uniformChannel builds a frozen channel with a fixed BER.
+func uniformChannel(s *sim.Simulator, ber float64) *channel.GilbertElliott {
+	badBer := ber * 10
+	if badBer > 0.5 {
+		badBer = 0.5
+	}
+	if badBer <= ber {
+		badBer = ber + 1e-9
+	}
+	ch := channel.NewGilbertElliott(s, channel.GEParams{
+		MeanGood: sim.Hour, MeanBad: sim.Second,
+		BERGood: ber, BERBad: badBer,
+	})
+	ch.Freeze()
+	return ch
+}
+
+func TestCodeConstruction(t *testing.T) {
+	c := NoCode(1400)
+	if c.N != 1400 || c.T != 0 || c.Overhead() != 1 {
+		t.Errorf("NoCode wrong: %+v", c)
+	}
+	b := NewBCHLike(256, 8)
+	if b.N <= b.K {
+		t.Error("BCH-like code has no parity")
+	}
+	if !b.Corrects(8) || b.Corrects(9) {
+		t.Error("correction threshold wrong")
+	}
+	if err := b.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewBCHLikePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid code accepted")
+		}
+	}()
+	NewBCHLike(0, 3)
+}
+
+func TestBlockErrorProb(t *testing.T) {
+	c := NoCode(1000)
+	if got := c.BlockErrorProb(0); got != 0 {
+		t.Errorf("BER 0 → %v", got)
+	}
+	if got := c.BlockErrorProb(1); got != 1 {
+		t.Errorf("BER 1 → %v", got)
+	}
+	// With no correction, block error ≈ PER.
+	got := c.BlockErrorProb(1e-6)
+	want := channel.PERFromBER(1e-6, 1000)
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("uncoded block error %v != PER %v", got, want)
+	}
+	// Stronger codes have strictly lower block error rates.
+	weak := NewBCHLike(1000, 2)
+	strong := NewBCHLike(1000, 16)
+	ber := 1e-4
+	if !(strong.BlockErrorProb(ber) < weak.BlockErrorProb(ber)) {
+		t.Error("stronger code not better")
+	}
+}
+
+// Property: BlockErrorProb is within [0,1] and decreasing in T.
+func TestBlockErrorProbProperty(t *testing.T) {
+	prop := func(berRaw uint16, tRaw uint8) bool {
+		ber := float64(berRaw%1000)/1e6 + 1e-9 // up to 1e-3
+		t1 := int(tRaw % 16)
+		c1 := NewBCHLike(512, t1)
+		c2 := NewBCHLike(512, t1+4)
+		p1 := c1.BlockErrorProb(ber)
+		p2 := c2.BlockErrorProb(ber)
+		if p1 < 0 || p1 > 1 || p2 < 0 || p2 > 1 {
+			return false
+		}
+		return p2 <= p1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Code = NoCode(100) // mismatched block
+	if err := p.Validate(); err == nil {
+		t.Error("block/payload mismatch accepted")
+	}
+	p2 := DefaultParams()
+	p2.ARQ = GoBackN
+	p2.Window = 0
+	if err := p2.Validate(); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestARQKindString(t *testing.T) {
+	for _, k := range []ARQKind{NoARQ, StopAndWait, GoBackN, SelectiveRepeat} {
+		if k.String() == "" {
+			t.Error("missing name")
+		}
+	}
+}
+
+func transferOn(t *testing.T, seed int64, ber float64, mutate func(*Params), n int) Result {
+	t.Helper()
+	s := sim.New(seed)
+	ch := uniformChannel(s, ber)
+	p := DefaultParams()
+	if mutate != nil {
+		mutate(&p)
+	}
+	return Transfer(s, ch, p, n)
+}
+
+func TestCleanChannelAllSchemesDeliverAll(t *testing.T) {
+	for _, arq := range []ARQKind{NoARQ, StopAndWait, GoBackN, SelectiveRepeat} {
+		r := transferOn(t, 1, 1e-9, func(p *Params) { p.ARQ = arq }, 100)
+		if r.DeliveredPackets != 100 || r.LostPackets != 0 {
+			t.Errorf("%v: delivered %d lost %d, want 100/0", arq, r.DeliveredPackets, r.LostPackets)
+		}
+		if r.Transmissions != 100 {
+			t.Errorf("%v: %d transmissions on a clean channel, want 100", arq, r.Transmissions)
+		}
+	}
+}
+
+func TestLossyChannelARQRecovers(t *testing.T) {
+	// PER ≈ 11% at ber=1e-5 with 1416-byte frames.
+	for _, arq := range []ARQKind{StopAndWait, GoBackN, SelectiveRepeat} {
+		r := transferOn(t, 2, 1e-5, func(p *Params) { p.ARQ = arq }, 300)
+		if r.DeliveredPackets != 300 {
+			t.Errorf("%v: delivered %d, want 300", arq, r.DeliveredPackets)
+		}
+		if r.Transmissions <= 300 {
+			t.Errorf("%v: no retransmissions on lossy channel", arq)
+		}
+	}
+}
+
+func TestNoARQHasResidualLoss(t *testing.T) {
+	r := transferOn(t, 3, 1e-5, func(p *Params) { p.ARQ = NoARQ }, 500)
+	if r.LostPackets == 0 {
+		t.Error("NoARQ lost nothing on a lossy channel")
+	}
+	if r.DeliveredPackets+r.LostPackets != 500 {
+		t.Error("packets unaccounted")
+	}
+	if r.Transmissions != 500 {
+		t.Errorf("NoARQ transmissions = %d, want exactly 500", r.Transmissions)
+	}
+}
+
+func TestFECMasksErrorsWithoutRetransmission(t *testing.T) {
+	// At ber=1e-5, a t=16 code on 1400-byte blocks virtually eliminates
+	// block errors (mean errors ≈ 0.11 per block).
+	r := transferOn(t, 4, 1e-5, func(p *Params) {
+		p.ARQ = NoARQ
+		p.Code = NewBCHLike(1400, 16)
+	}, 500)
+	if r.LostPackets != 0 {
+		t.Errorf("FEC-protected transfer lost %d packets", r.LostPackets)
+	}
+}
+
+func TestGoBackNWastesMoreThanSelectiveRepeat(t *testing.T) {
+	gbn := transferOn(t, 5, 2e-5, func(p *Params) { p.ARQ = GoBackN; p.Window = 8 }, 400)
+	sr := transferOn(t, 5, 2e-5, func(p *Params) { p.ARQ = SelectiveRepeat; p.Window = 8 }, 400)
+	if gbn.Transmissions <= sr.Transmissions {
+		t.Errorf("GBN tx=%d should exceed SR tx=%d under loss (window rewind waste)",
+			gbn.Transmissions, sr.Transmissions)
+	}
+}
+
+func TestPipeliningBeatsStopAndWaitWithDelay(t *testing.T) {
+	slow := func(p *Params) { p.PropDelay = 2 * sim.Millisecond }
+	sw := transferOn(t, 6, 1e-9, func(p *Params) { slow(p); p.ARQ = StopAndWait }, 200)
+	sr := transferOn(t, 6, 1e-9, func(p *Params) { slow(p); p.ARQ = SelectiveRepeat; p.Window = 8 }, 200)
+	// Stop-and-wait pays the full RTT per packet (~9.7 ms/packet) while SR
+	// keeps the pipe full, approaching link saturation (~2 Mb/s).
+	if sr.GoodputBps <= sw.GoodputBps*1.5 {
+		t.Errorf("SR goodput %.0f should be ≥1.5x stop-and-wait %.0f with 2ms RTT legs",
+			sr.GoodputBps, sw.GoodputBps)
+	}
+	if sr.GoodputBps < 1.8e6 {
+		t.Errorf("SR goodput %.0f should approach the 2 Mb/s link rate", sr.GoodputBps)
+	}
+}
+
+func TestEnergyCrossoverARQvsFEC(t *testing.T) {
+	// The paper's trade-off: at low BER plain ARQ is cheapest (no parity
+	// overhead); at high BER FEC-protected transfer wins (retransmissions
+	// explode).
+	arqAt := func(ber float64) float64 {
+		return transferOn(t, 7, ber, func(p *Params) { p.ARQ = SelectiveRepeat }, 200).EnergyPerBitJ
+	}
+	hybridAt := func(ber float64) float64 {
+		return transferOn(t, 7, ber, func(p *Params) {
+			p.ARQ = SelectiveRepeat
+			p.Code = NewBCHLike(1400, 16)
+		}, 200).EnergyPerBitJ
+	}
+	lowBer, highBer := 1e-7, 8e-5
+	if !(arqAt(lowBer) < hybridAt(lowBer)) {
+		t.Errorf("at BER %g plain ARQ (%.3e) should beat hybrid (%.3e)",
+			lowBer, arqAt(lowBer), hybridAt(lowBer))
+	}
+	if !(hybridAt(highBer) < arqAt(highBer)) {
+		t.Errorf("at BER %g hybrid (%.3e) should beat plain ARQ (%.3e)",
+			highBer, hybridAt(highBer), arqAt(highBer))
+	}
+}
+
+// Property: selective repeat delivers every packet exactly once across a
+// range of loss rates and seeds.
+func TestSelectiveRepeatExactlyOnceProperty(t *testing.T) {
+	prop := func(seed int64, berRaw uint16) bool {
+		ber := float64(berRaw%60) * 1e-6 // 0 .. 6e-5
+		s := sim.New(seed)
+		ch := uniformChannel(s, ber+1e-9)
+		p := DefaultParams()
+		p.ARQ = SelectiveRepeat
+		r := Transfer(s, ch, p, 60)
+		return r.DeliveredPackets == 60 && r.LostPackets == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdaptiveBeatsStaticOnBurstyChannel(t *testing.T) {
+	run := func(pred channel.Predictor, static *Params) AdaptiveResult {
+		s := sim.New(11)
+		ch := channel.NewGilbertElliott(s, channel.GEParams{
+			MeanGood: 2 * sim.Second, MeanBad: 700 * sim.Millisecond,
+			BERGood: 1e-6, BERBad: 2e-4,
+		})
+		cfg := DefaultAdaptiveConfig(800)
+		if static != nil {
+			cfg.GoodParams = *static
+			cfg.BadParams = *static
+		}
+		return RunAdaptive(s, ch, pred, cfg)
+	}
+	adaptive := run(channel.NewLastState(), nil)
+	big := DefaultParams() // always large packets, no FEC
+	staticBig := run(channel.NewLastState(), &big)
+	if adaptive.EnergyPerBitJ >= staticBig.EnergyPerBitJ {
+		t.Errorf("adaptive energy/bit %.3e should beat static-large %.3e on bursty channel",
+			adaptive.EnergyPerBitJ, staticBig.EnergyPerBitJ)
+	}
+	if adaptive.Accuracy < 0.6 {
+		t.Errorf("last-state accuracy %.2f unexpectedly low", adaptive.Accuracy)
+	}
+}
+
+func TestOracleIsUpperBound(t *testing.T) {
+	run := func(pred channel.Predictor) AdaptiveResult {
+		s := sim.New(13)
+		ch := channel.NewGilbertElliott(s, channel.GEParams{
+			MeanGood: 2 * sim.Second, MeanBad: 700 * sim.Millisecond,
+			BERGood: 1e-6, BERBad: 2e-4,
+		})
+		return RunAdaptive(s, ch, pred, DefaultAdaptiveConfig(600))
+	}
+	oracle := run(channel.NewOracle())
+	if oracle.Accuracy != 1.0 {
+		t.Errorf("oracle accuracy = %.3f, want 1.0", oracle.Accuracy)
+	}
+	if oracle.PredictionCost != 0 {
+		t.Error("oracle should have zero prediction cost")
+	}
+	last := run(channel.NewLastState())
+	// The oracle can only do as well or better on energy per bit (allow a
+	// small tolerance for stochastic variation between runs).
+	if oracle.EnergyPerBitJ > last.EnergyPerBitJ*1.10 {
+		t.Errorf("oracle energy/bit %.3e noticeably worse than last-state %.3e",
+			oracle.EnergyPerBitJ, last.EnergyPerBitJ)
+	}
+}
+
+func TestAdaptiveDeliversEverything(t *testing.T) {
+	s := sim.New(17)
+	ch := channel.NewGilbertElliott(s, channel.GEParams{
+		MeanGood: sim.Second, MeanBad: 300 * sim.Millisecond,
+		BERGood: 1e-6, BERBad: 1e-4,
+	})
+	cfg := DefaultAdaptiveConfig(400)
+	r := RunAdaptive(s, ch, channel.NewMarkov(), cfg)
+	want := 400 * cfg.GoodParams.PacketBytes
+	// SR with a generous retry limit recovers everything on this channel.
+	// The final epoch's packet quota rounds the payload up, so delivery may
+	// overshoot by up to one packet of either parameter set.
+	slack := cfg.GoodParams.PacketBytes + cfg.BadParams.PacketBytes
+	if r.DeliveredBytes < want || r.DeliveredBytes > want+slack {
+		t.Errorf("delivered %d bytes, want %d (+%d slack)", r.DeliveredBytes, want, slack)
+	}
+	if r.EpochsGood+r.EpochsBad == 0 {
+		t.Error("no epochs recorded")
+	}
+}

@@ -1,0 +1,172 @@
+// Package aggregate models MAC-layer packet aggregation: batching several
+// MAC service data units into one over-the-air burst so a power-saving
+// station pays the per-frame overhead (preamble, header, ACK, wake
+// transition) once per batch instead of once per packet, and sleeps through
+// the gaps — the paper's "longer mobile sleep periods can be created by
+// aggregating MAC layer packets".
+package aggregate
+
+import (
+	"fmt"
+
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Config parameterizes an aggregation run.
+type Config struct {
+	// PacketBytes is the size of one application packet (MSDU).
+	PacketBytes int
+	// PacketInterval is the CBR source spacing.
+	PacketInterval sim.Time
+	// Factor is the aggregation factor k: packets per over-the-air burst.
+	Factor int
+	// SubframeOverhead is the per-MSDU delimiter inside an aggregate.
+	SubframeOverhead int
+	// MACHeader is the single MAC header per burst.
+	MACHeader int
+	// AckBytes is the acknowledgement size (one per burst).
+	AckBytes int
+	// BitRate is the PHY rate.
+	BitRate float64
+	// PLCPOverhead is the preamble airtime paid once per burst.
+	PLCPOverhead sim.Time
+	// SIFS separates burst and ACK.
+	SIFS sim.Time
+}
+
+// DefaultConfig returns the E6 experiment parameters: a 128 kb/s audio-like
+// stream of 320-byte packets every 20 ms over 802.11b.
+func DefaultConfig(factor int) Config {
+	return Config{
+		PacketBytes:      320,
+		PacketInterval:   20 * sim.Millisecond,
+		Factor:           factor,
+		SubframeOverhead: 4,
+		MACHeader:        34,
+		AckBytes:         14,
+		BitRate:          11e6,
+		PLCPOverhead:     192 * sim.Microsecond,
+		SIFS:             10 * sim.Microsecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PacketBytes <= 0 || c.PacketInterval <= 0 {
+		return fmt.Errorf("aggregate: invalid source parameters")
+	}
+	if c.Factor <= 0 {
+		return fmt.Errorf("aggregate: factor must be ≥ 1")
+	}
+	if c.BitRate <= 0 {
+		return fmt.Errorf("aggregate: invalid bit rate")
+	}
+	return nil
+}
+
+// BurstAirtime returns the on-air time of one aggregated burst of k packets
+// including its single preamble, header and SIFS-separated ACK.
+func (c Config) BurstAirtime() sim.Time {
+	payload := c.MACHeader + c.Factor*(c.PacketBytes+c.SubframeOverhead)
+	data := c.PLCPOverhead + sim.FromSeconds(float64(payload*8)/c.BitRate)
+	ack := c.PLCPOverhead + sim.FromSeconds(float64(c.AckBytes*8)/c.BitRate)
+	return data + c.SIFS + ack
+}
+
+// Result reports the outcome of an aggregation run.
+type Result struct {
+	Factor        int
+	Packets       int
+	Bursts        int
+	EnergyJ       float64
+	AvgPowerW     float64
+	EnergyPerBitJ float64
+	MeanDelay     sim.Time
+	SleepFraction float64
+}
+
+// Run simulates a power-saving station receiving an aggregated CBR stream
+// for the given duration and returns its energy/delay profile. The
+// aggregation point (the AP) is assumed mains-powered; only the client radio
+// is metered, mirroring the paper's mobile-centric accounting.
+func Run(s *sim.Simulator, cfg Config, duration sim.Time) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	dev := radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle)
+	dev.Meter().Reset()
+	dev.SetState(radio.Sleep, nil)
+
+	var (
+		pending    []sim.Time // emit times of packets waiting in the aggregator
+		totalDelay sim.Time
+		packets    int
+		bursts     int
+		busy       bool
+	)
+
+	air := cfg.BurstAirtime()
+
+	var deliver func()
+	deliver = func() {
+		if busy || len(pending) < cfg.Factor {
+			return
+		}
+		batch := pending[:cfg.Factor]
+		pending = pending[cfg.Factor:]
+		busy = true
+		// Wake → receive burst + send ACK → sleep.
+		dev.SetState(radio.Idle, func() {
+			dev.OccupyFor(radio.RX, air, radio.Idle, func() {
+				now := s.Now()
+				for _, emit := range batch {
+					totalDelay += now - emit
+					packets++
+				}
+				bursts++
+				dev.SetState(radio.Sleep, func() {
+					busy = false
+					deliver() // a full batch may have accumulated meanwhile
+				})
+			})
+		})
+	}
+
+	ticker := sim.NewTicker(s, cfg.PacketInterval, func() {
+		pending = append(pending, s.Now())
+		deliver()
+	})
+	start := s.Now()
+	s.RunUntil(start + duration)
+	ticker.Stop()
+	// Let any in-flight burst finish so accounting is complete.
+	s.Run()
+
+	m := dev.Meter()
+	res := Result{
+		Factor:        cfg.Factor,
+		Packets:       packets,
+		Bursts:        bursts,
+		EnergyJ:       m.TotalEnergy(),
+		AvgPowerW:     m.AveragePower(),
+		SleepFraction: m.StateFraction(radio.Sleep),
+	}
+	if packets > 0 {
+		bits := float64(packets * cfg.PacketBytes * 8)
+		res.EnergyPerBitJ = res.EnergyJ / bits
+		res.MeanDelay = totalDelay / sim.Time(packets)
+	}
+	return res
+}
+
+// Sweep runs the aggregation experiment across factors and returns one
+// result per factor, using an independent simulator per run for isolation.
+func Sweep(seed int64, factors []int, duration sim.Time) []Result {
+	out := make([]Result, 0, len(factors))
+	for _, k := range factors {
+		s := sim.New(seed)
+		out = append(out, Run(s, DefaultConfig(k), duration))
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package aggregate
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(4).Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := DefaultConfig(0)
+	if err := bad.Validate(); err == nil {
+		t.Error("factor 0 accepted")
+	}
+}
+
+func TestBurstAirtimeGrowsSublinearly(t *testing.T) {
+	// Aggregating k packets must cost less airtime than k separate bursts:
+	// that is the whole point of amortizing preamble/header/ACK.
+	one := DefaultConfig(1).BurstAirtime()
+	eight := DefaultConfig(8).BurstAirtime()
+	if eight >= 8*one {
+		t.Errorf("airtime(8)=%v not sublinear vs 8x airtime(1)=%v", eight, 8*one)
+	}
+}
+
+func TestRunDeliversAllPackets(t *testing.T) {
+	s := sim.New(1)
+	res := Run(s, DefaultConfig(4), 10*sim.Second)
+	// 500 packets emitted in 10 s; all full batches of 4 delivered.
+	if res.Packets < 496 || res.Packets > 500 {
+		t.Errorf("packets = %d, want ≈ 500", res.Packets)
+	}
+	if res.Bursts != res.Packets/4 {
+		t.Errorf("bursts = %d, want packets/4 = %d", res.Bursts, res.Packets/4)
+	}
+}
+
+func TestEnergyPerBitDecreasesWithFactor(t *testing.T) {
+	results := Sweep(7, []int{1, 2, 4, 8, 16}, 30*sim.Second)
+	for i := 1; i < len(results); i++ {
+		if results[i].EnergyPerBitJ >= results[i-1].EnergyPerBitJ {
+			t.Errorf("energy/bit did not fall: k=%d %.3e vs k=%d %.3e",
+				results[i].Factor, results[i].EnergyPerBitJ,
+				results[i-1].Factor, results[i-1].EnergyPerBitJ)
+		}
+	}
+}
+
+func TestDelayIncreasesWithFactor(t *testing.T) {
+	results := Sweep(7, []int{1, 4, 16}, 30*sim.Second)
+	for i := 1; i < len(results); i++ {
+		if results[i].MeanDelay <= results[i-1].MeanDelay {
+			t.Errorf("delay did not rise: k=%d %v vs k=%d %v",
+				results[i].Factor, results[i].MeanDelay,
+				results[i-1].Factor, results[i-1].MeanDelay)
+		}
+	}
+}
+
+func TestSleepFractionGrowsWithFactor(t *testing.T) {
+	results := Sweep(7, []int{1, 16}, 30*sim.Second)
+	if results[1].SleepFraction <= results[0].SleepFraction {
+		t.Errorf("sleep fraction k=16 (%.3f) not above k=1 (%.3f)",
+			results[1].SleepFraction, results[0].SleepFraction)
+	}
+	if results[1].SleepFraction < 0.8 {
+		t.Errorf("sleep fraction at k=16 = %.3f, want ≥ 0.8", results[1].SleepFraction)
+	}
+}
+
+func TestMeanDelayBounded(t *testing.T) {
+	s := sim.New(2)
+	cfg := DefaultConfig(8)
+	res := Run(s, cfg, 20*sim.Second)
+	// Worst case: first packet of a batch waits (k-1) intervals plus the
+	// burst service time; mean is about half that.
+	upper := cfg.PacketInterval * sim.Time(cfg.Factor)
+	if res.MeanDelay <= 0 || res.MeanDelay > upper {
+		t.Errorf("mean delay = %v, want in (0, %v]", res.MeanDelay, upper)
+	}
+}

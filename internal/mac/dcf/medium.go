@@ -1,0 +1,203 @@
+// Package dcf implements the 802.11 distributed coordination function:
+// CSMA/CA with binary-exponential backoff over a shared broadcast medium,
+// SIFS-separated acknowledgements, retries and collision accounting.
+//
+// It is the substrate beneath the 802.11 power-save model (package psm) and
+// the baseline "continuously active mode" (CAM) measurements that motivate
+// the paper: an unmanaged WLAN station spends nearly all of its time — and
+// therefore nearly all of its energy — listening to an idle medium.
+package dcf
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// Config holds 802.11b DCF timing parameters.
+type Config struct {
+	SlotTime     sim.Time
+	SIFS         sim.Time
+	DIFS         sim.Time
+	CWMin        int // initial contention window (slots - 1), e.g. 31
+	CWMax        int
+	RetryLimit   int
+	AckTimeout   sim.Time
+	PLCPOverhead sim.Time // preamble + PLCP header airtime per frame
+	BitRate      float64  // MAC payload rate, bits/second
+}
+
+// Default80211b returns standard 802.11b long-preamble timings.
+func Default80211b() Config {
+	return Config{
+		SlotTime:     20 * sim.Microsecond,
+		SIFS:         10 * sim.Microsecond,
+		DIFS:         50 * sim.Microsecond,
+		CWMin:        31,
+		CWMax:        1023,
+		RetryLimit:   7,
+		AckTimeout:   300 * sim.Microsecond,
+		PLCPOverhead: 192 * sim.Microsecond,
+		BitRate:      11e6,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SlotTime <= 0 || c.SIFS <= 0 || c.DIFS <= c.SIFS {
+		return fmt.Errorf("dcf: invalid IFS timing")
+	}
+	if c.CWMin <= 0 || c.CWMax < c.CWMin {
+		return fmt.Errorf("dcf: invalid contention window")
+	}
+	if c.BitRate <= 0 {
+		return fmt.Errorf("dcf: invalid bit rate")
+	}
+	return nil
+}
+
+// AirTime returns the on-air duration of a frame of n bytes.
+func (c Config) AirTime(bytes int) sim.Time {
+	return c.PLCPOverhead + sim.FromSeconds(float64(bytes*8)/c.BitRate)
+}
+
+// transmission is one in-flight frame on the medium.
+type transmission struct {
+	f        *frame.Frame
+	from     *Station
+	end      sim.Time
+	collided bool
+}
+
+// Stats aggregates medium-level counters.
+type Stats struct {
+	Transmissions int
+	Collisions    int
+	Corrupted     int
+	Delivered     int
+	AcksSent      int
+}
+
+// Medium is the shared broadcast channel all stations attach to. It detects
+// collisions (any temporal overlap destroys all frames involved, no capture)
+// and applies channel bit errors to otherwise-successful receptions.
+type Medium struct {
+	sim    *sim.Simulator
+	cfg    Config
+	ch     *channel.GilbertElliott // may be nil for an error-free medium
+	nodes  map[int]*Station
+	active []*transmission
+	stats  Stats
+
+	idleSince sim.Time
+}
+
+// NewMedium creates an empty medium. ch may be nil for a perfect channel.
+func NewMedium(s *sim.Simulator, cfg Config, ch *channel.GilbertElliott) *Medium {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Medium{sim: s, cfg: cfg, ch: ch, nodes: make(map[int]*Station)}
+}
+
+// Config returns the medium's timing configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Stats returns a copy of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Busy reports whether any transmission is in flight.
+func (m *Medium) Busy() bool { return len(m.active) > 0 }
+
+// IdleSince returns when the medium last became idle (valid only when idle).
+func (m *Medium) IdleSince() sim.Time { return m.idleSince }
+
+func (m *Medium) attach(st *Station) {
+	if _, dup := m.nodes[st.id]; dup {
+		panic(fmt.Sprintf("dcf: duplicate station id %d", st.id))
+	}
+	m.nodes[st.id] = st
+}
+
+// Station returns the attached station with the given id, or nil.
+func (m *Medium) Station(id int) *Station { return m.nodes[id] }
+
+// begin puts a frame on the air. Any overlap collides every frame involved.
+func (m *Medium) begin(st *Station, f *frame.Frame) {
+	dur := m.cfg.AirTime(f.Size())
+	tx := &transmission{f: f, from: st, end: m.sim.Now() + dur}
+	if len(m.active) > 0 {
+		tx.collided = true
+		for _, other := range m.active {
+			if !other.collided {
+				other.collided = true
+				m.stats.Collisions++
+			}
+		}
+		m.stats.Collisions++
+	}
+	wasIdle := len(m.active) == 0
+	m.active = append(m.active, tx)
+	m.stats.Transmissions++
+	if wasIdle {
+		for _, n := range m.nodes {
+			if n != st {
+				n.mediumBusy()
+			}
+		}
+	}
+	m.sim.Schedule(dur, func() { m.finish(tx) })
+}
+
+func (m *Medium) finish(tx *transmission) {
+	// Remove from active set.
+	for i, a := range m.active {
+		if a == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	nowIdle := len(m.active) == 0
+	if nowIdle {
+		m.idleSince = m.sim.Now()
+	}
+
+	delivered := false
+	if !tx.collided {
+		corrupted := false
+		if m.ch != nil && m.ch.SamplePacketError(tx.f.Size()) {
+			corrupted = true
+			m.stats.Corrupted++
+		}
+		if !corrupted {
+			m.deliver(tx)
+			delivered = true
+		}
+	}
+	if delivered {
+		m.stats.Delivered++
+	}
+	tx.from.txDone(tx.f, delivered)
+
+	if nowIdle {
+		for _, n := range m.nodes {
+			n.mediumIdle()
+		}
+	}
+}
+
+func (m *Medium) deliver(tx *transmission) {
+	if tx.f.To == frame.Broadcast {
+		for _, n := range m.nodes {
+			if n != tx.from && n.Awake() {
+				n.receive(tx.f)
+			}
+		}
+		return
+	}
+	if dst, ok := m.nodes[tx.f.To]; ok && dst.Awake() {
+		dst.receive(tx.f)
+	}
+}

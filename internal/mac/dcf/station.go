@@ -1,0 +1,379 @@
+package dcf
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// StationStats aggregates per-station MAC counters.
+type StationStats struct {
+	Sent      int // frames successfully acknowledged (or fire-and-forget done)
+	Dropped   int // frames dropped after retry limit
+	Retries   int
+	Received  int // data frames received (excludes ACKs)
+	BytesSent int
+	BytesRecv int
+}
+
+// Station is one 802.11 DCF node (an access point is simply the station with
+// id frame.AP). It owns a radio device for energy accounting and implements
+// CSMA/CA: DIFS sensing, slotted binary-exponential backoff with freezing,
+// ACK-based retransmission, and doze control for power saving.
+type Station struct {
+	id  int
+	med *Medium
+	sim *sim.Simulator
+	dev *radio.Device
+	cfg Config
+
+	queue     []*frame.Frame
+	awake     bool
+	inTx      bool
+	trackedTx bool // in-flight frame is head-of-queue data awaiting ACK handling
+	waitAck   bool
+	attempts  int
+	cw        int
+	slots     int // remaining backoff slots
+	haveBO    bool
+
+	difsEvent *sim.Event
+	slotEvent *sim.Event
+	ackTimer  *sim.Timer
+
+	lastSeq      map[int]int // per-sender dedup of MAC retransmissions
+	pendingSends int         // SendAfter responses not yet on the air
+
+	stats StationStats
+
+	// OnReceive is invoked for every successfully received data/beacon/poll
+	// frame (not ACKs, which the MAC consumes internally).
+	OnReceive func(f *frame.Frame)
+	// OnSent is invoked when a frame leaves the queue: ok=true after a
+	// successful (acknowledged or broadcast) transmission, false on drop.
+	OnSent func(f *frame.Frame, ok bool)
+	// NoAck disables the ACK/retry machinery for this station's frames
+	// (used for broadcast-like flows and by EC-MAC-style experiments).
+	NoAck bool
+}
+
+// NewStation attaches a new station to the medium. The radio must already be
+// awake in the Idle state (use radio.NewDeviceInState): stations model
+// already-associated devices, not ones paying a power-up cost mid-protocol.
+func NewStation(id int, m *Medium, dev *radio.Device) *Station {
+	if dev.State() != radio.Idle {
+		panic(fmt.Sprintf("dcf: station %d radio must start in Idle, got %v", id, dev.State()))
+	}
+	st := &Station{id: id, med: m, sim: m.sim, dev: dev, cfg: m.cfg, awake: true,
+		cw: m.cfg.CWMin, lastSeq: make(map[int]int)}
+	st.ackTimer = sim.NewTimer(m.sim, st.onAckTimeout)
+	m.attach(st)
+	return st
+}
+
+// ID returns the station identifier.
+func (st *Station) ID() int { return st.id }
+
+// Device returns the station's radio.
+func (st *Station) Device() *radio.Device { return st.dev }
+
+// Stats returns a copy of the station counters.
+func (st *Station) Stats() StationStats { return st.stats }
+
+// QueueLen returns the number of frames waiting (including one in flight).
+func (st *Station) QueueLen() int { return len(st.queue) }
+
+// Awake reports whether the station is listening to the medium.
+func (st *Station) Awake() bool { return st.awake }
+
+// Enqueue appends a frame to the transmit queue and starts contention if the
+// station is awake and idle.
+func (st *Station) Enqueue(f *frame.Frame) {
+	st.queue = append(st.queue, f)
+	if st.awake && !st.inTx && !st.waitAck && len(st.queue) == 1 {
+		st.startContention()
+	}
+}
+
+// Doze puts the station to sleep: the radio enters Sleep, pending contention
+// is cancelled, queued frames stay queued. A dozing station hears nothing.
+func (st *Station) Doze() {
+	if !st.awake {
+		return
+	}
+	if st.inTx || st.waitAck {
+		panic(fmt.Sprintf("dcf: station %d dozing mid-exchange", st.id))
+	}
+	st.awake = false
+	st.cancelContention()
+	st.dev.SetState(radio.Sleep, nil)
+}
+
+// WakeUp transitions the radio out of Sleep; done runs when the radio is
+// usable again, after which contention resumes for any queued frames.
+func (st *Station) WakeUp(done func()) {
+	if st.awake {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	st.dev.SetState(radio.Idle, func() {
+		st.awake = true
+		if st.med.Busy() {
+			st.dev.SetState(radio.RX, nil)
+		}
+		if len(st.queue) > 0 {
+			st.startContention()
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// SendAfter transmits a frame after a fixed gap without contention. It is
+// used for SIFS-separated responses (ACKs, poll responses) and beacons: they
+// bypass backoff because the standard grants them priority access.
+func (st *Station) SendAfter(gap sim.Time, f *frame.Frame) {
+	st.pendingSends++
+	st.sim.Schedule(gap, func() {
+		st.pendingSends--
+		if !st.awake {
+			return
+		}
+		st.transmit(f, false)
+	})
+}
+
+// CanDoze reports whether the station is quiescent: awake with nothing on
+// the air, nothing awaiting an ACK, an empty queue and no pending
+// SIFS-responses. Power-save logic must only doze a quiescent station —
+// dozing with an ACK still owed would break the peer's retry machinery.
+func (st *Station) CanDoze() bool {
+	return st.awake && !st.inTx && !st.waitAck && len(st.queue) == 0 && st.pendingSends == 0
+}
+
+// --- CSMA/CA engine ---
+
+func (st *Station) startContention() {
+	if st.difsEvent != nil || st.slotEvent != nil || st.inTx {
+		return
+	}
+	if !st.haveBO {
+		st.slots = st.sim.Rand().Intn(st.cw + 1)
+		st.haveBO = true
+	}
+	if st.med.Busy() {
+		return // mediumIdle() will restart us
+	}
+	st.difsEvent = st.sim.Schedule(st.cfg.DIFS, func() {
+		st.difsEvent = nil
+		st.countDown()
+	})
+}
+
+func (st *Station) countDown() {
+	if st.slots == 0 {
+		st.beginDataTx()
+		return
+	}
+	st.slotEvent = st.sim.Schedule(st.cfg.SlotTime, func() {
+		st.slotEvent = nil
+		st.slots--
+		if st.slots == 0 {
+			// Reached zero in this slot: transmit even if another station
+			// started at the same instant — that is exactly how same-slot
+			// DCF collisions happen (CCA cannot sense a same-slot start).
+			st.beginDataTx()
+			return
+		}
+		if st.med.Busy() {
+			return // freeze; mediumIdle will resume the countdown
+		}
+		st.countDown()
+	})
+}
+
+// cancelContention hard-cancels all pending contention events (used when the
+// station leaves the listening state entirely, e.g. dozing or transmitting).
+func (st *Station) cancelContention() {
+	if st.difsEvent != nil {
+		st.sim.Cancel(st.difsEvent)
+		st.difsEvent = nil
+	}
+	if st.slotEvent != nil {
+		st.sim.Cancel(st.slotEvent)
+		st.slotEvent = nil
+	}
+}
+
+// freezeContention cancels only strictly-future contention events. Events
+// scheduled for the current instant are left to fire so that two stations
+// whose backoff expires in the same slot collide, as in real DCF.
+func (st *Station) freezeContention() {
+	now := st.sim.Now()
+	if st.difsEvent != nil && st.difsEvent.At() > now {
+		st.sim.Cancel(st.difsEvent)
+		st.difsEvent = nil
+	}
+	if st.slotEvent != nil && st.slotEvent.At() > now {
+		st.sim.Cancel(st.slotEvent)
+		st.slotEvent = nil
+	}
+}
+
+// mediumBusy freezes backoff and moves the radio to RX while others talk.
+func (st *Station) mediumBusy() {
+	if !st.awake {
+		return
+	}
+	st.freezeContention()
+	if !st.inTx && st.dev.State() == radio.Idle {
+		st.dev.SetState(radio.RX, nil)
+	}
+}
+
+// mediumIdle resumes contention after the channel frees up.
+func (st *Station) mediumIdle() {
+	if !st.awake {
+		return
+	}
+	if !st.inTx && st.dev.State() == radio.RX {
+		st.dev.SetState(radio.Idle, nil)
+	}
+	if len(st.queue) > 0 && !st.inTx && !st.waitAck {
+		st.startContention()
+	}
+}
+
+func (st *Station) beginDataTx() {
+	if len(st.queue) == 0 {
+		return
+	}
+	st.transmit(st.queue[0], true)
+}
+
+// transmit puts f on the air. tracked indicates head-of-queue data subject
+// to the ACK/retry machinery; untracked frames (ACKs, beacons) are
+// fire-and-forget.
+func (st *Station) transmit(f *frame.Frame, tracked bool) {
+	st.cancelContention() // our own transmission must not race our countdown
+	st.inTx = true
+	st.trackedTx = tracked
+	dur := st.cfg.AirTime(f.Size())
+	st.dev.SetState(radio.TX, nil)
+	st.sim.Schedule(dur, func() {
+		st.inTx = false
+		if st.awake {
+			if st.med.Busy() {
+				st.dev.SetState(radio.RX, nil)
+			} else {
+				st.dev.SetState(radio.Idle, nil)
+			}
+		}
+		// Untracked sends (ACKs, beacons) do not go through txDone's
+		// continuation, so restart contention for queued data here.
+		if !tracked && len(st.queue) > 0 && st.awake && !st.waitAck && !st.inTx {
+			st.startContention()
+		}
+	})
+	st.med.begin(st, f)
+}
+
+// txDone is called by the medium when our transmission left the air.
+// delivered reports whether the frame arrived uncorrupted and uncollided.
+func (st *Station) txDone(f *frame.Frame, delivered bool) {
+	if !st.trackedTx {
+		return
+	}
+	if f.To == frame.Broadcast || st.NoAck {
+		// No ACK expected: treat air-done as sent.
+		st.completeHead(f, true)
+		return
+	}
+	if delivered {
+		// Expect an ACK after SIFS; allow for its airtime.
+		st.waitAck = true
+		st.ackTimer.Reset(st.cfg.SIFS + st.cfg.AirTime(frame.AckSize) + st.cfg.AckTimeout)
+	} else {
+		// Collision or corruption: the receiver never saw it; schedule retry.
+		st.retry(f)
+	}
+}
+
+func (st *Station) onAckTimeout() {
+	if !st.waitAck {
+		return
+	}
+	st.waitAck = false
+	st.retry(st.queue[0])
+}
+
+func (st *Station) retry(f *frame.Frame) {
+	st.attempts++
+	st.stats.Retries++
+	if st.attempts > st.cfg.RetryLimit {
+		st.completeHead(f, false)
+		return
+	}
+	if st.cw < st.cfg.CWMax {
+		st.cw = st.cw*2 + 1
+		if st.cw > st.cfg.CWMax {
+			st.cw = st.cfg.CWMax
+		}
+	}
+	st.haveBO = false
+	st.startContention()
+}
+
+// completeHead finishes the head-of-queue frame (success or drop) and starts
+// contention for the next.
+func (st *Station) completeHead(f *frame.Frame, ok bool) {
+	if len(st.queue) > 0 && st.queue[0] == f {
+		st.queue = st.queue[1:]
+	}
+	st.attempts = 0
+	st.cw = st.cfg.CWMin
+	st.haveBO = false
+	if ok {
+		st.stats.Sent++
+		st.stats.BytesSent += f.Payload
+	} else {
+		st.stats.Dropped++
+	}
+	if st.OnSent != nil {
+		st.OnSent(f, ok)
+	}
+	if len(st.queue) > 0 && st.awake {
+		st.startContention()
+	}
+}
+
+// receive handles a frame addressed to (or broadcast at) this station.
+func (st *Station) receive(f *frame.Frame) {
+	if f.Kind == frame.Ack && f.To == st.id {
+		if st.waitAck {
+			st.waitAck = false
+			st.ackTimer.Stop()
+			st.completeHead(st.queue[0], true)
+		}
+		return
+	}
+	// Unicast data and PS-Polls get a SIFS-separated ACK — including
+	// MAC-level retransmissions, whose original ACK may have been lost.
+	if (f.Kind == frame.Data || f.Kind == frame.PSPoll) && f.To == st.id {
+		st.SendAfter(st.cfg.SIFS, frame.NewAck(st.id, f.From))
+		if last, seen := st.lastSeq[f.From]; seen && last == f.Seq {
+			return // duplicate retransmission: ACKed but not re-delivered
+		}
+		st.lastSeq[f.From] = f.Seq
+	}
+	st.stats.Received++
+	st.stats.BytesRecv += f.Payload
+	if st.OnReceive != nil {
+		st.OnReceive(f)
+	}
+}

@@ -1,0 +1,435 @@
+// Package ecmac implements an EC-MAC-style energy-conserving MAC: a base
+// station broadcasts a centrally determined TDMA schedule at the start of
+// every superframe, stations announce uplink demand in collision-free
+// reservation minislots, and data flows in assigned slots. Because every
+// station learns the exact schedule, it knows precisely when to wake and can
+// sleep the rest of the superframe — the property the paper highlights:
+// "EC-MAC extends this by broadcasting a centrally determined schedule of
+// data transmission times to reduce collisions and to provide exact times
+// for entry into doze state."
+package ecmac
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Config holds EC-MAC superframe parameters.
+type Config struct {
+	// SuperframeLen is the TDMA frame period.
+	SuperframeLen sim.Time
+	// SlotTime is the duration of one data slot.
+	SlotTime sim.Time
+	// ReqSlotTime is the duration of one reservation minislot.
+	ReqSlotTime sim.Time
+	// ScheduleBytes is the base size of the schedule beacon; it grows by
+	// PerEntryBytes per scheduled station.
+	ScheduleBytes int
+	// PerEntryBytes is the per-station schedule entry size.
+	PerEntryBytes int
+	// RequestBytes is the size of an uplink reservation request.
+	RequestBytes int
+	// BitRate is the PHY rate in bits/second.
+	BitRate float64
+	// WakeLead is how long before a scheduled activity a station begins its
+	// sleep→idle transition.
+	WakeLead sim.Time
+}
+
+// DefaultConfig returns the parameters used in experiment E5: 50 ms
+// superframes of 2 ms slots at 11 Mb/s.
+func DefaultConfig() Config {
+	return Config{
+		SuperframeLen: 50 * sim.Millisecond,
+		SlotTime:      2 * sim.Millisecond,
+		ReqSlotTime:   200 * sim.Microsecond,
+		ScheduleBytes: 60,
+		PerEntryBytes: 6,
+		RequestBytes:  40,
+		BitRate:       11e6,
+		WakeLead:      3 * sim.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SuperframeLen <= 0 || c.SlotTime <= 0 || c.ReqSlotTime <= 0 {
+		return fmt.Errorf("ecmac: durations must be positive")
+	}
+	if c.SlotTime >= c.SuperframeLen {
+		return fmt.Errorf("ecmac: slot longer than superframe")
+	}
+	if c.BitRate <= 0 {
+		return fmt.Errorf("ecmac: invalid bit rate")
+	}
+	if c.WakeLead <= 0 {
+		return fmt.Errorf("ecmac: wake lead must be positive")
+	}
+	return nil
+}
+
+// BytesPerSlot returns the payload capacity of one data slot.
+func (c Config) BytesPerSlot() int {
+	return int(c.SlotTime.Seconds() * c.BitRate / 8)
+}
+
+// packet is one queued application payload.
+type packet struct {
+	bytes     int
+	remaining int
+	enqueued  sim.Time
+}
+
+// stationState is the base station's view of one registered client.
+type stationState struct {
+	id       int
+	dev      *radio.Device
+	downlink []*packet
+	uplink   []*packet
+	// uplinkGranted is the uplink demand (bytes) the BS learned from the
+	// most recent reservation phase.
+	uplinkGranted int
+
+	recvBytes int
+	sentBytes int
+}
+
+// Stats aggregates network-wide EC-MAC counters.
+type Stats struct {
+	Superframes    int
+	PacketsDeliv   int
+	BytesDownlink  int
+	BytesUplink    int
+	Collisions     int // always 0: TDMA is collision-free by construction
+	MeanDelay      sim.Time
+	totalDelay     sim.Time
+	delayedPackets int
+}
+
+// Network is a complete EC-MAC cell: one base station plus registered
+// stations, self-driving once started.
+type Network struct {
+	sim *sim.Simulator
+	cfg Config
+	bs  *radio.Device
+
+	stations []*stationState
+	byID     map[int]*stationState
+	rotation int
+	stats    Stats
+	started  bool
+}
+
+// NewNetwork creates an EC-MAC cell. The base-station device models the
+// AP-side radio (mains powered; metered anyway for completeness).
+func NewNetwork(s *sim.Simulator, cfg Config, bsDev *radio.Device) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if bsDev.State() != radio.Idle {
+		panic("ecmac: base station radio must start Idle")
+	}
+	return &Network{sim: s, cfg: cfg, bs: bsDev, byID: make(map[int]*stationState)}
+}
+
+// Register adds a station; its radio must start Idle (it will be put to
+// sleep until the first superframe). Must be called before Start.
+func (n *Network) Register(id int, dev *radio.Device) {
+	if n.started {
+		panic("ecmac: register before Start")
+	}
+	if _, dup := n.byID[id]; dup {
+		panic(fmt.Sprintf("ecmac: duplicate station %d", id))
+	}
+	if dev.State() != radio.Idle {
+		panic("ecmac: station radio must start Idle")
+	}
+	st := &stationState{id: id, dev: dev}
+	n.stations = append(n.stations, st)
+	n.byID[id] = st
+	sort.Slice(n.stations, func(i, j int) bool { return n.stations[i].id < n.stations[j].id })
+}
+
+// Start begins superframe processing. Stations doze until the first frame.
+func (n *Network) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	for _, st := range n.stations {
+		st.dev.SetState(radio.Sleep, nil)
+	}
+	first := n.cfg.SuperframeLen
+	n.sim.At(first-n.cfg.WakeLead, n.wakeAll)
+	n.sim.At(first, n.runSuperframe)
+}
+
+// Deliver queues downlink payload for a station.
+func (n *Network) Deliver(to int, bytes int) {
+	st, ok := n.byID[to]
+	if !ok {
+		panic(fmt.Sprintf("ecmac: unknown station %d", to))
+	}
+	st.downlink = append(st.downlink, &packet{bytes: bytes, remaining: bytes, enqueued: n.sim.Now()})
+}
+
+// SendUplink queues uplink payload at a station.
+func (n *Network) SendUplink(from int, bytes int) {
+	st, ok := n.byID[from]
+	if !ok {
+		panic(fmt.Sprintf("ecmac: unknown station %d", from))
+	}
+	st.uplink = append(st.uplink, &packet{bytes: bytes, remaining: bytes, enqueued: n.sim.Now()})
+}
+
+// Stats returns aggregate counters with the mean delay computed.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	if s.delayedPackets > 0 {
+		s.MeanDelay = s.totalDelay / sim.Time(s.delayedPackets)
+	}
+	return s
+}
+
+// StationEnergy returns the average power of one station's radio.
+func (n *Network) StationEnergy(id int) float64 {
+	return n.byID[id].dev.Meter().AveragePower()
+}
+
+// StationRecvBytes returns delivered downlink bytes for a station.
+func (n *Network) StationRecvBytes(id int) int { return n.byID[id].recvBytes }
+
+// StationSentBytes returns delivered uplink bytes for a station.
+func (n *Network) StationSentBytes(id int) int { return n.byID[id].sentBytes }
+
+// wakeAll begins every station's sleep→idle transition ahead of the beacon.
+func (n *Network) wakeAll() {
+	for _, st := range n.stations {
+		if st.dev.State() == radio.Sleep && !st.dev.Transitioning() {
+			st.dev.SetState(radio.Idle, nil)
+		}
+	}
+}
+
+// dozeStation puts a station to sleep if it is idle and the sleep transition
+// completes before nextWake (otherwise sleeping would race the wakeup).
+func (n *Network) dozeStation(st *stationState, nextWake sim.Time) {
+	trans := st.dev.Profile().TransitionCost(radio.Idle, radio.Sleep).Latency
+	if n.sim.Now()+trans >= nextWake {
+		return
+	}
+	if st.dev.State() == radio.Idle && !st.dev.Transitioning() {
+		st.dev.SetState(radio.Sleep, nil)
+	}
+}
+
+// airTime converts bytes to on-air time at the configured rate.
+func (n *Network) airTime(bytes int) sim.Time {
+	return sim.FromSeconds(float64(bytes*8) / n.cfg.BitRate)
+}
+
+// runSuperframe executes one complete TDMA frame: schedule beacon,
+// reservation phase, contiguous per-station data allocations, then doze.
+//
+// Event-ordering contract: base-station state changes are scheduled in
+// chronological order within this body, so FIFO tie-breaking at shared
+// boundaries yields end-of-phase → start-of-phase sequencing. Station-side
+// activity is chained through occupancy done-callbacks, so a station never
+// overlaps its own radio operations.
+func (n *Network) runSuperframe() {
+	cfg := n.cfg
+	frameStart := n.sim.Now()
+	nextWake := frameStart + cfg.SuperframeLen - cfg.WakeLead
+	n.stats.Superframes++
+
+	// --- Build the schedule ---
+	beaconBytes := cfg.ScheduleBytes + cfg.PerEntryBytes*len(n.stations)
+	beaconDur := n.airTime(beaconBytes)
+	reqPhase := cfg.ReqSlotTime * sim.Time(len(n.stations))
+	dataStart := beaconDur + reqPhase
+	avail := int((cfg.SuperframeLen - dataStart - cfg.WakeLead) / cfg.SlotTime)
+	if avail < 0 {
+		avail = 0
+	}
+	bps := cfg.BytesPerSlot()
+
+	// Rotate service order each frame for long-run fairness.
+	order := make([]*stationState, len(n.stations))
+	for i := range n.stations {
+		order[i] = n.stations[(i+n.rotation)%len(n.stations)]
+	}
+	n.rotation++
+
+	type window struct {
+		st         *stationState
+		start, end sim.Time
+		down, up   int // slots
+	}
+	var windows []window
+	remaining := avail
+	slotCursor := 0
+	for _, st := range order {
+		if remaining == 0 {
+			break
+		}
+		down := (queuedBytes(st.downlink) + bps - 1) / bps
+		up := (st.uplinkGranted + bps - 1) / bps
+		if down > remaining {
+			down = remaining
+		}
+		remaining -= down
+		if up > remaining {
+			up = remaining
+		}
+		remaining -= up
+		if down+up == 0 {
+			continue
+		}
+		start := frameStart + dataStart + cfg.SlotTime*sim.Time(slotCursor)
+		slotCursor += down + up
+		windows = append(windows, window{
+			st: st, start: start,
+			end:  start + cfg.SlotTime*sim.Time(down+up),
+			down: down, up: up,
+		})
+	}
+	hasWindow := make(map[int]bool, len(windows))
+	for _, w := range windows {
+		hasWindow[w.st.id] = true
+	}
+	requesting := make(map[int]bool, len(n.stations))
+	for _, st := range n.stations {
+		if queuedBytes(st.uplink) > 0 {
+			requesting[st.id] = true
+		}
+	}
+
+	// --- Base-station radio timeline (chronological scheduling order) ---
+	n.bs.SetState(radio.TX, nil) // beacon
+	n.sim.At(frameStart+beaconDur, func() { n.bs.SetState(radio.Idle, nil) })
+	reqDur := n.airTime(cfg.RequestBytes)
+	if reqDur > cfg.ReqSlotTime {
+		reqDur = cfg.ReqSlotTime
+	}
+	for i, st := range n.stations {
+		if !requesting[st.id] {
+			continue
+		}
+		slotAt := frameStart + beaconDur + cfg.ReqSlotTime*sim.Time(i)
+		n.sim.At(slotAt, func() { n.bs.SetState(radio.RX, nil) })
+		n.sim.At(slotAt+reqDur, func() { n.bs.SetState(radio.Idle, nil) })
+	}
+	for _, w := range windows {
+		w := w
+		downEnd := w.start + cfg.SlotTime*sim.Time(w.down)
+		if w.down > 0 {
+			n.sim.At(w.start, func() { n.bs.SetState(radio.TX, nil) })
+		}
+		if w.up > 0 {
+			n.sim.At(downEnd, func() { n.bs.SetState(radio.RX, nil) })
+		}
+		n.sim.At(w.end, func() { n.bs.SetState(radio.Idle, nil) })
+	}
+
+	// --- Station radio timelines ---
+	for _, st := range n.stations {
+		st := st
+		if st.dev.State() != radio.Idle || st.dev.Transitioning() {
+			continue // missed wakeup; sits out this frame, retried next wakeAll
+		}
+		afterBeacon := func() {
+			// Idle until minislot / window; doze immediately if neither.
+			if !requesting[st.id] && !hasWindow[st.id] {
+				n.dozeStation(st, nextWake)
+			}
+		}
+		st.dev.OccupyFor(radio.RX, beaconDur, radio.Idle, afterBeacon)
+	}
+	for i, st := range n.stations {
+		st := st
+		if !requesting[st.id] {
+			continue
+		}
+		slotAt := frameStart + beaconDur + cfg.ReqSlotTime*sim.Time(i)
+		n.sim.At(slotAt, func() {
+			st.uplinkGranted = queuedBytes(st.uplink)
+			st.dev.OccupyFor(radio.TX, reqDur, radio.Idle, func() {
+				if !hasWindow[st.id] {
+					n.dozeStation(st, nextWake)
+				}
+			})
+		})
+	}
+	for _, w := range windows {
+		w := w
+		st := w.st
+		n.sim.At(w.start, func() {
+			downDur := cfg.SlotTime * sim.Time(w.down)
+			upDur := cfg.SlotTime * sim.Time(w.up)
+			finish := func() { n.dozeStation(st, nextWake) }
+			runUp := func() {
+				if w.up == 0 {
+					finish()
+					return
+				}
+				st.dev.OccupyFor(radio.TX, upDur, radio.Idle, func() {
+					n.drain(st, &st.uplink, w.up*bps, false)
+					st.uplinkGranted = 0
+					finish()
+				})
+			}
+			if w.down > 0 {
+				st.dev.OccupyFor(radio.RX, downDur, radio.Idle, func() {
+					n.drain(st, &st.downlink, w.down*bps, true)
+					runUp()
+				})
+			} else {
+				runUp()
+			}
+		})
+	}
+
+	// --- Next frame ---
+	next := frameStart + cfg.SuperframeLen
+	n.sim.At(nextWake, n.wakeAll)
+	n.sim.At(next, n.runSuperframe)
+}
+
+// drain moves up to budget bytes out of a packet queue, recording delivery
+// delays for packets that complete.
+func (n *Network) drain(st *stationState, q *[]*packet, budget int, downlink bool) {
+	now := n.sim.Now()
+	for budget > 0 && len(*q) > 0 {
+		p := (*q)[0]
+		take := p.remaining
+		if take > budget {
+			take = budget
+		}
+		p.remaining -= take
+		budget -= take
+		if downlink {
+			st.recvBytes += take
+			n.stats.BytesDownlink += take
+		} else {
+			st.sentBytes += take
+			n.stats.BytesUplink += take
+		}
+		if p.remaining == 0 {
+			*q = (*q)[1:]
+			n.stats.PacketsDeliv++
+			n.stats.totalDelay += now - p.enqueued
+			n.stats.delayedPackets++
+		}
+	}
+}
+
+func queuedBytes(q []*packet) int {
+	total := 0
+	for _, p := range q {
+		total += p.remaining
+	}
+	return total
+}

@@ -1,0 +1,169 @@
+package psm
+
+import (
+	"repro/internal/frame"
+	"repro/internal/mac/dcf"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// ClientStats counts station-side PSM activity.
+type ClientStats struct {
+	BeaconsHeard   int
+	BeaconsMissed  int
+	PollsSent      int
+	FramesRecv     int
+	BytesRecv      int
+	BroadcastsRecv int
+}
+
+// Client is a power-saving 802.11 station. Its lifecycle is a loop:
+// doze → wake shortly before TBTT → hear beacon → if the TIM indicates
+// buffered traffic, PS-Poll it out frame by frame (the More bit chains
+// retrievals) → doze again.
+type Client struct {
+	sim *sim.Simulator
+	cfg Config
+	ap  *AP
+	sta *dcf.Station
+	id  int
+
+	retrieving bool
+	bcastWait  bool
+	timeout    *sim.Timer
+	seq        int
+	stats      ClientStats
+
+	// OnData is invoked for every retrieved data frame.
+	OnData func(f *frame.Frame)
+}
+
+// NewClient creates a PS-mode station and schedules its first beacon wakeup.
+// The station starts awake (radio Idle) and dozes immediately.
+func NewClient(s *sim.Simulator, m *dcf.Medium, dev *radio.Device, ap *AP, id int, cfg Config) *Client {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Client{sim: s, cfg: cfg, ap: ap, id: id}
+	c.sta = dcf.NewStation(id, m, dev)
+	c.sta.OnReceive = c.onReceive
+	c.timeout = sim.NewTimer(s, c.onRetrieveTimeout)
+	ap.SetPSMode(id, true)
+	c.sta.Doze()
+	c.scheduleWake()
+	return c
+}
+
+// Station exposes the underlying DCF station.
+func (c *Client) Station() *dcf.Station { return c.sta }
+
+// Stats returns a copy of the client counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// nextTBTT returns the next target beacon transmission time this client
+// attends, honoring its listen interval.
+func (c *Client) nextTBTT() sim.Time {
+	interval := c.cfg.BeaconInterval * sim.Time(c.cfg.ListenInterval)
+	now := c.sim.Now()
+	k := now/interval + 1
+	return k * interval
+}
+
+func (c *Client) scheduleWake() {
+	target := c.nextTBTT()
+	wakeAt := target - c.cfg.WakeLead
+	if wakeAt <= c.sim.Now() {
+		wakeAt = c.sim.Now()
+	}
+	c.sim.At(wakeAt, func() {
+		if !c.sta.Awake() {
+			c.sta.WakeUp(nil)
+		}
+		// If no beacon shows up shortly after TBTT (lost to collision or
+		// corruption), give up and doze until the next one.
+		c.timeout.ResetAt(target + c.cfg.RetrieveTimeout)
+	})
+}
+
+func (c *Client) onRetrieveTimeout() {
+	if c.bcastWait {
+		// The post-DTIM broadcast window closed; this is the normal end of
+		// a broadcast wait, not a missed beacon.
+		c.bcastWait = false
+		c.dozeUntilNext()
+		return
+	}
+	c.stats.BeaconsMissed++
+	c.retrieving = false
+	c.dozeUntilNext()
+}
+
+// dozeUntilNext ends the current beacon cycle: schedule the next wakeup and
+// doze as soon as the station is quiescent (any owed ACK must go out first).
+func (c *Client) dozeUntilNext() {
+	c.scheduleWake()
+	c.attemptDoze()
+}
+
+func (c *Client) attemptDoze() {
+	// Not worth dozing if the next wakeup is imminent.
+	nextWake := c.nextTBTT() - c.cfg.WakeLead
+	if c.sim.Now() >= nextWake-2*sim.Millisecond {
+		return
+	}
+	if c.sta.CanDoze() {
+		c.sta.Doze()
+		return
+	}
+	c.sim.Schedule(sim.Millisecond, c.attemptDoze)
+}
+
+func (c *Client) onReceive(f *frame.Frame) {
+	switch f.Kind {
+	case frame.Beacon:
+		c.stats.BeaconsHeard++
+		c.timeout.Stop()
+		c.bcastWait = f.TIM != nil && f.TIM.Broadcast && f.TIM.DTIMCount == 0
+		switch {
+		case f.TIM != nil && f.TIM.Indicated(c.id):
+			c.retrieving = true
+			c.poll()
+		case c.bcastWait:
+			// Stay awake through the post-DTIM broadcast window.
+			c.timeout.Reset(c.cfg.RetrieveTimeout)
+		default:
+			c.dozeUntilNext()
+		}
+	case frame.Data:
+		if f.To == frame.Broadcast {
+			c.stats.BroadcastsRecv++
+			c.stats.BytesRecv += f.Payload
+			if c.OnData != nil {
+				c.OnData(f)
+			}
+			return
+		}
+		if !c.retrieving {
+			return
+		}
+		c.stats.FramesRecv++
+		c.stats.BytesRecv += f.Payload
+		if c.OnData != nil {
+			c.OnData(f)
+		}
+		c.timeout.Stop()
+		if f.More {
+			c.poll()
+		} else {
+			c.retrieving = false
+			c.dozeUntilNext()
+		}
+	}
+}
+
+func (c *Client) poll() {
+	c.stats.PollsSent++
+	c.seq++
+	c.sta.Enqueue(frame.NewPSPoll(c.id, c.seq))
+	c.timeout.Reset(c.cfg.RetrieveTimeout)
+}

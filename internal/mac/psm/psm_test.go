@@ -1,0 +1,313 @@
+package psm
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/frame"
+	"repro/internal/mac/dcf"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+type rig struct {
+	s  *sim.Simulator
+	m  *dcf.Medium
+	ap *AP
+}
+
+func newRig(seed int64, cfg Config, ch *channel.GilbertElliott) *rig {
+	s := sim.New(seed)
+	m := dcf.NewMedium(s, dcf.Default80211b(), ch)
+	apDev := radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle)
+	ap := NewAP(s, m, apDev, cfg)
+	return &rig{s: s, m: m, ap: ap}
+}
+
+func (r *rig) addClient(id int, cfg Config) *Client {
+	dev := radio.NewDeviceInState(r.s, radio.WLAN80211b(), radio.Idle)
+	return NewClient(r.s, r.m, dev, r.ap, id, cfg)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.WakeLead = bad.BeaconInterval
+	if err := bad.Validate(); err == nil {
+		t.Error("wake lead >= beacon interval accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.ListenInterval = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero listen interval accepted")
+	}
+}
+
+func TestBeaconsAreSent(t *testing.T) {
+	r := newRig(1, DefaultConfig(), nil)
+	r.s.RunUntil(1050 * sim.Millisecond)
+	if got := r.ap.Stats().Beacons; got != 10 {
+		t.Errorf("beacons = %d in 1.05s, want 10", got)
+	}
+}
+
+func TestBufferedDeliveryViaTIMAndPoll(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(2, cfg, nil)
+	cl := r.addClient(0, cfg)
+	var got []int
+	cl.OnData = func(f *frame.Frame) { got = append(got, f.Payload) }
+
+	// Deliver while the client dozes: must be buffered, TIM-announced,
+	// polled out after the next beacon.
+	r.s.Schedule(20*sim.Millisecond, func() { r.ap.Deliver(0, 1200) })
+	r.s.RunUntil(300 * sim.Millisecond)
+
+	if len(got) != 1 || got[0] != 1200 {
+		t.Fatalf("client got %v, want [1200]", got)
+	}
+	st := cl.Stats()
+	if st.PollsSent != 1 {
+		t.Errorf("polls = %d, want 1", st.PollsSent)
+	}
+	if r.ap.Buffered(0) != 0 {
+		t.Errorf("AP still buffers %d frames", r.ap.Buffered(0))
+	}
+}
+
+func TestMoreBitChainsRetrievals(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(3, cfg, nil)
+	cl := r.addClient(0, cfg)
+	count := 0
+	cl.OnData = func(*frame.Frame) { count++ }
+	r.s.Schedule(10*sim.Millisecond, func() {
+		for i := 0; i < 5; i++ {
+			r.ap.Deliver(0, 800)
+		}
+	})
+	r.s.RunUntil(400 * sim.Millisecond)
+	if count != 5 {
+		t.Fatalf("client got %d frames, want 5 in one beacon cycle chain", count)
+	}
+	if polls := cl.Stats().PollsSent; polls != 5 {
+		t.Errorf("polls = %d, want 5 (one per frame)", polls)
+	}
+}
+
+func TestClientDozesWhenIdle(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(4, cfg, nil)
+	cl := r.addClient(0, cfg)
+	r.s.RunUntil(10 * sim.Second)
+	m := cl.Station().Device().Meter()
+	sleepFrac := m.StateFraction(radio.Sleep)
+	if sleepFrac < 0.9 {
+		t.Errorf("sleep fraction = %.3f, want ≥ 0.9 with no traffic", sleepFrac)
+	}
+	if heard := cl.Stats().BeaconsHeard; heard < 95 {
+		t.Errorf("beacons heard = %d of ~100", heard)
+	}
+	// PSM with no traffic should cost well under a tenth of CAM idle power.
+	if p := m.AveragePower(); p > 0.15 {
+		t.Errorf("avg power = %.3f W, want < 0.15 W while dozing", p)
+	}
+}
+
+func TestPSMSavesEnergyVsCAM(t *testing.T) {
+	// Same light downlink load; PS client must use far less energy than a
+	// CAM client while still receiving everything.
+	cfg := DefaultConfig()
+	run := func(psMode bool) (avgW float64, frames int) {
+		r := newRig(5, cfg, nil)
+		var recv int
+		if psMode {
+			cl := r.addClient(0, cfg)
+			cl.OnData = func(*frame.Frame) { recv++ }
+			deliverEvery(r, 0, 500*sim.Millisecond, 1000)
+			r.s.RunUntil(20 * sim.Second)
+			return cl.Station().Device().Meter().AveragePower(), recv
+		}
+		dev := radio.NewDeviceInState(r.s, radio.WLAN80211b(), radio.Idle)
+		sta := dcf.NewStation(0, r.m, dev)
+		sta.OnReceive = func(f *frame.Frame) {
+			if f.Kind == frame.Data {
+				recv++
+			}
+		}
+		deliverEvery(r, 0, 500*sim.Millisecond, 1000)
+		r.s.RunUntil(20 * sim.Second)
+		return dev.Meter().AveragePower(), recv
+	}
+	psW, psFrames := run(true)
+	camW, camFrames := run(false)
+	if psFrames != camFrames {
+		t.Errorf("PS client received %d, CAM %d — PSM must not lose traffic", psFrames, camFrames)
+	}
+	if psW > camW/5 {
+		t.Errorf("PSM avg power %.3f W vs CAM %.3f W: expected ≥5x saving", psW, camW)
+	}
+}
+
+func deliverEvery(r *rig, to int, period sim.Time, payload int) {
+	sim.NewTicker(r.s, period, func() { r.ap.Deliver(to, payload) })
+}
+
+func TestCAMStationGetsDirectDelivery(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(6, cfg, nil)
+	dev := radio.NewDeviceInState(r.s, radio.WLAN80211b(), radio.Idle)
+	sta := dcf.NewStation(7, r.m, dev)
+	recv := 0
+	sta.OnReceive = func(f *frame.Frame) {
+		if f.Kind == frame.Data {
+			recv++
+		}
+	}
+	r.ap.Deliver(7, 900)
+	r.s.RunUntil(50 * sim.Millisecond)
+	if recv != 1 {
+		t.Errorf("CAM station received %d, want 1 (no beacon wait)", recv)
+	}
+	if r.ap.Stats().DirectSends != 1 {
+		t.Errorf("DirectSends = %d, want 1", r.ap.Stats().DirectSends)
+	}
+}
+
+func TestBufferOverflowDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BufferLimit = 3
+	r := newRig(7, cfg, nil)
+	r.addClient(0, cfg)
+	for i := 0; i < 10; i++ {
+		r.ap.Deliver(0, 100)
+	}
+	if r.ap.Buffered(0) != 3 {
+		t.Errorf("buffered = %d, want 3", r.ap.Buffered(0))
+	}
+	if r.ap.Stats().BufferDrops != 7 {
+		t.Errorf("drops = %d, want 7", r.ap.Stats().BufferDrops)
+	}
+}
+
+func TestListenIntervalSkipsBeacons(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ListenInterval = 5
+	r := newRig(8, cfg, nil)
+	cl := r.addClient(0, cfg)
+	r.s.RunUntil(5 * sim.Second) // 50 beacons
+	heard := cl.Stats().BeaconsHeard
+	if heard < 8 || heard > 12 {
+		t.Errorf("heard %d beacons with listen interval 5 over 50, want ~10", heard)
+	}
+}
+
+func TestLossyChannelStillDelivers(t *testing.T) {
+	cfg := DefaultConfig()
+	s := sim.New(9)
+	ch := channel.NewGilbertElliott(s, channel.GEParams{
+		MeanGood: sim.Hour, MeanBad: sim.Second, BERGood: 1e-5, BERBad: 1e-3})
+	ch.Freeze()
+	m := dcf.NewMedium(s, dcf.Default80211b(), ch)
+	apDev := radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle)
+	ap := NewAP(s, m, apDev, cfg)
+	dev := radio.NewDeviceInState(s, radio.WLAN80211b(), radio.Idle)
+	cl := NewClient(s, m, dev, ap, 0, cfg)
+	recv := 0
+	cl.OnData = func(*frame.Frame) { recv++ }
+	const n = 30
+	for i := 0; i < n; i++ {
+		d := sim.Time(i) * 300 * sim.Millisecond
+		s.At(d+sim.Millisecond, func() { ap.Deliver(0, 1200) })
+	}
+	s.RunUntil(30 * sim.Second)
+	if recv != n {
+		t.Errorf("delivered %d of %d on lossy channel (beacon retries must recover)", recv, n)
+	}
+}
+
+func TestTwoClientsIndependentBuffers(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(10, cfg, nil)
+	c0 := r.addClient(0, cfg)
+	c1 := r.addClient(1, cfg)
+	var got0, got1 int
+	c0.OnData = func(*frame.Frame) { got0++ }
+	c1.OnData = func(*frame.Frame) { got1++ }
+	r.s.Schedule(5*sim.Millisecond, func() {
+		r.ap.Deliver(0, 500)
+		r.ap.Deliver(0, 500)
+		r.ap.Deliver(1, 700)
+	})
+	r.s.RunUntil(500 * sim.Millisecond)
+	if got0 != 2 || got1 != 1 {
+		t.Errorf("client deliveries = %d/%d, want 2/1", got0, got1)
+	}
+}
+
+func TestBroadcastDeliveredAfterDTIM(t *testing.T) {
+	cfg := DefaultConfig() // DTIM period 3
+	r := newRig(20, cfg, nil)
+	c0 := r.addClient(0, cfg)
+	c1 := r.addClient(1, cfg)
+	var got0, got1 int
+	c0.OnData = func(f *frame.Frame) {
+		if f.To == frame.Broadcast {
+			got0++
+		}
+	}
+	c1.OnData = func(f *frame.Frame) {
+		if f.To == frame.Broadcast {
+			got1++
+		}
+	}
+	r.s.Schedule(10*sim.Millisecond, func() { r.ap.DeliverBroadcast(600) })
+	// Worst case: wait out a full DTIM period plus slack.
+	r.s.RunUntil(700 * sim.Millisecond)
+	if got0 != 1 || got1 != 1 {
+		t.Fatalf("broadcast receipt = %d/%d, want 1/1", got0, got1)
+	}
+	if r.ap.Stats().BroadcastsSent != 1 {
+		t.Errorf("BroadcastsSent = %d, want 1", r.ap.Stats().BroadcastsSent)
+	}
+	if c0.Stats().BroadcastsRecv != 1 {
+		t.Errorf("client stats missed the broadcast")
+	}
+}
+
+func TestBroadcastWaitsForDTIMBeacon(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DTIMPeriod = 5
+	r := newRig(21, cfg, nil)
+	cl := r.addClient(0, cfg)
+	got := 0
+	cl.OnData = func(f *frame.Frame) {
+		if f.To == frame.Broadcast {
+			got++
+		}
+	}
+	// Queue right after a DTIM beacon (beacon 0 at 100 ms is DTIM since
+	// beaconN starts at 0): the broadcast must wait for the NEXT DTIM.
+	r.s.Schedule(110*sim.Millisecond, func() { r.ap.DeliverBroadcast(600) })
+	r.s.RunUntil(400 * sim.Millisecond) // beacons 1,2,3 are non-DTIM
+	if got != 0 {
+		t.Fatalf("broadcast delivered before DTIM")
+	}
+	r.s.RunUntil(800 * sim.Millisecond) // beacon at 600 ms is DTIM (count 0)
+	if got != 1 {
+		t.Errorf("broadcast not delivered after DTIM: got %d", got)
+	}
+}
+
+func TestBroadcastWindowDoesNotCountAsMissedBeacon(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(22, cfg, nil)
+	cl := r.addClient(0, cfg)
+	r.s.Schedule(10*sim.Millisecond, func() { r.ap.DeliverBroadcast(600) })
+	r.s.RunUntil(2 * sim.Second)
+	if missed := cl.Stats().BeaconsMissed; missed != 0 {
+		t.Errorf("broadcast wait recorded %d missed beacons", missed)
+	}
+}

@@ -1,0 +1,181 @@
+package power
+
+import (
+	"sort"
+
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Request is one unit of work needing the device awake (e.g. an inbound
+// packet to receive).
+type Request struct {
+	Arrival sim.Time
+	Service sim.Time // time the device spends in RX serving it
+}
+
+// RunResult reports a DPM policy evaluation.
+type RunResult struct {
+	Policy        string
+	EnergyJ       float64
+	AvgPowerW     float64
+	MeanDelay     sim.Time // added latency: service start − arrival
+	MaxDelay      sim.Time
+	Sleeps        int
+	Served        int
+	SleepFraction float64
+}
+
+// Manager drives one device through a request trace under a policy.
+type Manager struct {
+	sim    *sim.Simulator
+	dev    *radio.Device
+	policy Policy
+
+	queue      []Request
+	pending    []Request // arrived, waiting for the device
+	serving    bool
+	idleSince  sim.Time
+	sleepTimer *sim.Timer
+	totalDelay sim.Time
+	maxDelay   sim.Time
+	served     int
+	sleeps     int
+}
+
+// Run evaluates a policy over a request trace on a fresh device built from
+// the profile, returning energy and latency statistics. The trace must be
+// sorted by arrival time.
+func Run(s *sim.Simulator, profile *radio.Profile, policy Policy, trace []Request) RunResult {
+	dev := radio.NewDeviceInState(s, profile, radio.Idle)
+	m := &Manager{sim: s, dev: dev, policy: policy, queue: append([]Request(nil), trace...)}
+	sort.Slice(m.queue, func(i, j int) bool { return m.queue[i].Arrival < m.queue[j].Arrival })
+	m.sleepTimer = sim.NewTimer(s, m.onSleepTimeout)
+	m.idleSince = s.Now()
+
+	for _, r := range m.queue {
+		r := r
+		s.At(r.Arrival, func() { m.onArrival(r) })
+	}
+	m.armSleep()
+	s.Run()
+
+	meter := dev.Meter()
+	res := RunResult{
+		Policy:        policy.Name(),
+		EnergyJ:       meter.TotalEnergy(),
+		AvgPowerW:     meter.AveragePower(),
+		Sleeps:        m.sleeps,
+		Served:        m.served,
+		SleepFraction: meter.StateFraction(radio.Sleep),
+	}
+	if m.served > 0 {
+		res.MeanDelay = m.totalDelay / sim.Time(m.served)
+		res.MaxDelay = m.maxDelay
+	}
+	return res
+}
+
+// nextArrivalAfter returns the next request arrival strictly after t, or
+// sim.MaxTime. Only the oracle consults this.
+func (m *Manager) nextArrivalAfter(t sim.Time) sim.Time {
+	i := sort.Search(len(m.queue), func(i int) bool { return m.queue[i].Arrival > t })
+	if i == len(m.queue) {
+		return sim.MaxTime
+	}
+	return m.queue[i].Arrival
+}
+
+func (m *Manager) onArrival(r Request) {
+	m.pending = append(m.pending, r)
+	m.sleepTimer.Stop()
+	switch {
+	case m.serving:
+		// Queued; will be served after the current request.
+	case m.dev.State() == radio.Idle && !m.dev.Transitioning():
+		// The idle period ends now without a sleep: adaptive policies still
+		// need to observe its length.
+		m.policy.ObserveIdle(m.sim.Now() - m.idleSince)
+		m.serveNext()
+	case m.dev.State() == radio.Sleep || m.dev.Transitioning():
+		m.wake()
+	}
+}
+
+func (m *Manager) wake() {
+	if m.dev.Transitioning() {
+		return // wake (or sleep) in flight; completion logic handles it
+	}
+	if m.dev.State() != radio.Sleep {
+		return
+	}
+	m.policy.ObserveIdle(m.sim.Now() - m.idleSince)
+	m.dev.SetState(radio.Idle, func() {
+		if len(m.pending) > 0 && !m.serving {
+			m.serveNext()
+		}
+	})
+}
+
+func (m *Manager) serveNext() {
+	if len(m.pending) == 0 || m.serving {
+		return
+	}
+	r := m.pending[0]
+	m.pending = m.pending[1:]
+	m.serving = true
+	delay := m.sim.Now() - r.Arrival
+	m.totalDelay += delay
+	if delay > m.maxDelay {
+		m.maxDelay = delay
+	}
+	m.served++
+	m.dev.OccupyFor(radio.RX, r.Service, radio.Idle, func() {
+		m.serving = false
+		if len(m.pending) > 0 {
+			m.serveNext()
+			return
+		}
+		m.becameIdle()
+	})
+}
+
+func (m *Manager) becameIdle() {
+	m.idleSince = m.sim.Now()
+	m.armSleep()
+}
+
+func (m *Manager) armSleep() {
+	next := m.nextArrivalAfter(m.sim.Now())
+	rel := sim.MaxTime
+	if next != sim.MaxTime {
+		rel = next - m.sim.Now()
+	}
+	delay := m.policy.SleepDelay(rel)
+	if delay == sim.MaxTime {
+		return
+	}
+	if delay == 0 {
+		m.goToSleep()
+		return
+	}
+	m.sleepTimer.Reset(delay)
+}
+
+func (m *Manager) onSleepTimeout() { m.goToSleep() }
+
+func (m *Manager) goToSleep() {
+	if m.serving || len(m.pending) > 0 {
+		return
+	}
+	if m.dev.State() != radio.Idle || m.dev.Transitioning() {
+		return
+	}
+	m.sleeps++
+	m.dev.SetState(radio.Sleep, func() {
+		// An arrival may have landed during the transition.
+		if len(m.pending) > 0 {
+			m.wake()
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package proxy
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+func TestRegistrarLifecycle(t *testing.T) {
+	s := sim.New(1)
+	r := NewRegistrar(s)
+	s.RunUntil(5 * sim.Second)
+	reg := r.Register(7, 128e3, 0.8)
+	if r.Count() != 1 {
+		t.Errorf("count = %d, want 1", r.Count())
+	}
+	if reg.RegisterAt != 5*sim.Second {
+		t.Errorf("registered at %v, want 5s", reg.RegisterAt)
+	}
+	if got := r.Lookup(7); got == nil || got.QoSRateBps != 128e3 {
+		t.Error("lookup failed")
+	}
+	r.UpdateBattery(7, 0.3)
+	if r.Lookup(7).BatteryLevel != 0.3 {
+		t.Error("battery update lost")
+	}
+	r.Deregister(7)
+	if r.Lookup(7) != nil || r.Count() != 0 {
+		t.Error("deregister failed")
+	}
+}
+
+func TestRegistrarValidation(t *testing.T) {
+	s := sim.New(2)
+	r := NewRegistrar(s)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid registration accepted")
+		}
+	}()
+	r.Register(1, 128e3, 1.5)
+}
+
+func TestContentAdapterDecisions(t *testing.T) {
+	a := NewContentAdapter(0.2)
+	cases := []struct {
+		q       channel.Quality
+		battery float64
+		video   bool
+	}{
+		{channel.QualityGood, 0.9, true},
+		{channel.QualityGood, 0.1, false},     // battery floor
+		{channel.QualityDegraded, 0.9, false}, // adverse link
+		{channel.QualityUnusable, 0.9, false},
+	}
+	for i, c := range cases {
+		d := a.Decide(c.q, c.battery)
+		if d.DeliverVideo != c.video {
+			t.Errorf("case %d: video=%v, want %v (%s)", i, d.DeliverVideo, c.video, d.Reason)
+		}
+		if d.Reason == "" {
+			t.Errorf("case %d: missing reason", i)
+		}
+	}
+}
+
+func TestContentAdapterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad floor accepted")
+		}
+	}()
+	NewContentAdapter(-0.1)
+}
+
+func TestLoadPartitionerOffloadsExpensiveCompute(t *testing.T) {
+	// 5.8 Mb/s WLAN: ~2.3 µJ/byte TX.
+	lp := NewLoadPartitioner(5.8e6, 1.65, 1.40, 0.05)
+	// Heavy compute, tiny data: offload.
+	d := lp.Decide(Task{LocalComputeJ: 5, InputBytes: 10_000, OutputBytes: 1_000})
+	if !d.Offload {
+		t.Errorf("should offload: local %.2f J vs offload %.2f J", d.LocalJ, d.OffloadJ)
+	}
+	if d.SavingJ <= 0 {
+		t.Error("saving should be positive")
+	}
+}
+
+func TestLoadPartitionerKeepsDataHeavyLocal(t *testing.T) {
+	lp := NewLoadPartitioner(5.8e6, 1.65, 1.40, 0.05)
+	// Light compute, megabytes of data: stay local.
+	d := lp.Decide(Task{LocalComputeJ: 0.5, InputBytes: 5_000_000, OutputBytes: 0})
+	if d.Offload {
+		t.Errorf("should stay local: local %.2f J vs offload %.2f J", d.LocalJ, d.OffloadJ)
+	}
+}
+
+func TestBreakevenBytes(t *testing.T) {
+	lp := NewLoadPartitioner(5.8e6, 1.65, 1.40, 0.05)
+	be := lp.BreakevenBytes(1.0)
+	// At the breakeven size the two options should roughly tie.
+	d := lp.Decide(Task{LocalComputeJ: 1.0, InputBytes: be})
+	diff := d.OffloadJ - d.LocalJ
+	if diff < -0.01 || diff > 0.01 {
+		t.Errorf("breakeven not a tie: local %.3f offload %.3f", d.LocalJ, d.OffloadJ)
+	}
+	if lp.BreakevenBytes(0.01) != 0 {
+		t.Error("breakeven below fixed cost should clamp to 0")
+	}
+}

@@ -1,0 +1,158 @@
+package radio
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Device is a WNIC instance bound to a simulator: a power state machine that
+// meters its own energy. State changes that the Profile lists with a
+// transition cost take simulated time, during which the device is in a
+// transitional condition drawing the *target* state's power plus the
+// transition energy.
+type Device struct {
+	sim     *sim.Simulator
+	profile *Profile
+	meter   *Meter
+
+	state         State
+	transitioning bool
+	transEnd      sim.Time
+	pendingDone   []func()
+
+	// listeners are notified after every completed state change; the trace
+	// package uses this to build Figure 1's power-level lanes.
+	listeners []func(t sim.Time, s State)
+}
+
+// NewDevice creates a WNIC in the Off state.
+func NewDevice(s *sim.Simulator, p *Profile) *Device {
+	return NewDeviceInState(s, p, Off)
+}
+
+// NewDeviceInState creates a WNIC already in the given state without paying
+// any transition cost. MAC models use this for stations that are already
+// associated when the simulation starts.
+func NewDeviceInState(s *sim.Simulator, p *Profile, initial State) *Device {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Device{sim: s, profile: p, state: initial}
+	d.meter = newMeter(s, p, initial)
+	return d
+}
+
+// Profile returns the device's calibration profile.
+func (d *Device) Profile() *Profile { return d.profile }
+
+// State returns the current power state. During a transition this is already
+// the target state (the hardware is committed), but the device is unusable
+// until the transition completes.
+func (d *Device) State() State { return d.state }
+
+// Transitioning reports whether a state change is still in flight.
+func (d *Device) Transitioning() bool { return d.transitioning && d.sim.Now() < d.transEnd }
+
+// Meter returns the device's energy meter.
+func (d *Device) Meter() *Meter { return d.meter }
+
+// OnStateChange registers fn to run after every completed state change.
+func (d *Device) OnStateChange(fn func(t sim.Time, s State)) {
+	d.listeners = append(d.listeners, fn)
+}
+
+// SetState initiates a change to the target state and returns the latency
+// until the device is usable in that state. If done is non-nil it runs when
+// the transition completes (immediately for free transitions).
+//
+// Requesting a change while a previous transition is still in flight is a
+// modelling error — real firmware serializes these — and panics so tests
+// catch protocol bugs.
+func (d *Device) SetState(target State, done func()) sim.Time {
+	if d.Transitioning() {
+		panic(fmt.Sprintf("radio: %s: SetState(%v) during transition to %v (ends %v)",
+			d.profile.Name, target, d.state, d.transEnd))
+	}
+	if target == d.state {
+		if done != nil {
+			done()
+		}
+		return 0
+	}
+	cost := d.profile.TransitionCost(d.state, target)
+	d.state = target
+	d.meter.setState(target)
+	d.meter.addTransitionEnergy(cost.Energy)
+	for _, fn := range d.listeners {
+		fn(d.sim.Now(), target)
+	}
+	if cost.Latency == 0 {
+		if done != nil {
+			done()
+		}
+		return 0
+	}
+	d.transitioning = true
+	d.transEnd = d.sim.Now() + cost.Latency
+	d.sim.At(d.transEnd, func() {
+		d.transitioning = false
+		if done != nil {
+			done()
+		}
+	})
+	return cost.Latency
+}
+
+// TransitionLatency reports the latency of switching from the current state
+// to target without performing the switch.
+func (d *Device) TransitionLatency(target State) sim.Time {
+	return d.profile.TransitionCost(d.state, target).Latency
+}
+
+// Transmit models occupying the radio in TX for the airtime of n bytes at
+// PHY rate, then returning to the restore state. done runs when the radio
+// has returned. The device must be usable (not mid-transition).
+func (d *Device) Transmit(bytes int, restore State, done func()) sim.Time {
+	airtime := d.profile.TxTime(bytes)
+	d.occupy(TX, airtime, restore, done)
+	return airtime
+}
+
+// Receive models occupying the radio in RX for the airtime of n bytes.
+func (d *Device) Receive(bytes int, restore State, done func()) sim.Time {
+	airtime := d.profile.TxTime(bytes)
+	d.occupy(RX, airtime, restore, done)
+	return airtime
+}
+
+// OccupyFor holds the radio in state s for duration dur then returns it to
+// restore. It is the low-level primitive behind Transmit/Receive and is also
+// used directly by MAC models that compute their own airtimes.
+func (d *Device) OccupyFor(s State, dur sim.Time, restore State, done func()) {
+	d.occupy(s, dur, restore, done)
+}
+
+func (d *Device) occupy(s State, dur sim.Time, restore State, done func()) {
+	if d.Transitioning() {
+		panic(fmt.Sprintf("radio: %s: occupy(%v) during transition", d.profile.Name, s))
+	}
+	if d.state == Off || d.state == Sleep {
+		panic(fmt.Sprintf("radio: %s: occupy(%v) from %v: radio not awake", d.profile.Name, s, d.state))
+	}
+	d.state = s
+	d.meter.setState(s)
+	for _, fn := range d.listeners {
+		fn(d.sim.Now(), s)
+	}
+	d.sim.Schedule(dur, func() {
+		d.state = restore
+		d.meter.setState(restore)
+		for _, fn := range d.listeners {
+			fn(d.sim.Now(), restore)
+		}
+		if done != nil {
+			done()
+		}
+	})
+}

@@ -1,0 +1,391 @@
+// Package route implements the energy-efficient ad-hoc routing protocols
+// the paper's link-layer survey points to: minimum-hop routing as the
+// baseline, minimum-transmission-energy routing (MTPR-style), battery-aware
+// max-min routing (MMBCR-style) and the conditional hybrid (CMMBCR-style)
+// that uses minimum energy while every node on the path is healthy and
+// switches to battery protection below a threshold.
+//
+// The radio cost model is the standard first-order one: transmitting b bits
+// over distance d costs b·(Eelec + Eamp·d²); receiving costs b·Eelec.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Policy selects a path objective.
+type Policy int
+
+// Routing policies.
+const (
+	// MinHop minimizes hop count (energy-oblivious baseline).
+	MinHop Policy = iota
+	// MinEnergy minimizes total transmission+reception energy.
+	MinEnergy
+	// MaxMinBattery maximizes the minimum residual battery on the path.
+	MaxMinBattery
+	// Conditional uses MinEnergy while all nodes on that path are above
+	// the battery threshold, otherwise MaxMinBattery (CMMBCR).
+	Conditional
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case MinHop:
+		return "min-hop"
+	case MinEnergy:
+		return "min-energy"
+	case MaxMinBattery:
+		return "max-min-battery"
+	case Conditional:
+		return "conditional"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// RadioCost holds the first-order radio model constants, in joules per bit.
+type RadioCost struct {
+	ElecJPerBit  float64 // electronics cost, paid at TX and RX
+	AmpJPerBitM2 float64 // amplifier cost per square meter
+}
+
+// DefaultRadioCost returns the customary 50 nJ/bit electronics and
+// 100 pJ/bit/m² amplifier constants.
+func DefaultRadioCost() RadioCost {
+	return RadioCost{ElecJPerBit: 50e-9, AmpJPerBitM2: 100e-12}
+}
+
+// TxEnergy returns the cost of transmitting bits over distance d.
+func (r RadioCost) TxEnergy(bits int, d float64) float64 {
+	return float64(bits) * (r.ElecJPerBit + r.AmpJPerBitM2*d*d)
+}
+
+// RxEnergy returns the cost of receiving bits.
+func (r RadioCost) RxEnergy(bits int) float64 {
+	return float64(bits) * r.ElecJPerBit
+}
+
+// Node is one network participant.
+type Node struct {
+	ID       int
+	X, Y     float64
+	Battery  float64 // joules remaining
+	capacity float64
+}
+
+// Alive reports whether the node has energy left.
+func (n *Node) Alive() bool { return n.Battery > 0 }
+
+// Level returns the battery fraction remaining.
+func (n *Node) Level() float64 {
+	if n.capacity <= 0 {
+		return 0
+	}
+	l := n.Battery / n.capacity
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// Network is an ad-hoc topology with per-node batteries.
+type Network struct {
+	nodes []*Node
+	rang  float64 // radio range, meters
+	cost  RadioCost
+	// BatteryThreshold is the Conditional policy's protection level.
+	BatteryThreshold float64
+
+	deliveredPkts int
+	failedPkts    int
+	totalEnergyJ  float64
+	firstDeathPkt int // packet count at first node death, -1 while none
+	deaths        int
+}
+
+// NewGrid builds a w×h grid network with the given spacing, radio range and
+// per-node battery capacity in joules.
+func NewGrid(w, h int, spacing, radioRange, batteryJ float64, cost RadioCost) *Network {
+	if w <= 0 || h <= 0 || spacing <= 0 || radioRange <= 0 || batteryJ <= 0 {
+		panic("route: invalid grid parameters")
+	}
+	n := &Network{rang: radioRange, cost: cost, BatteryThreshold: 0.2, firstDeathPkt: -1}
+	id := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			n.nodes = append(n.nodes, &Node{
+				ID: id, X: float64(x) * spacing, Y: float64(y) * spacing,
+				Battery: batteryJ, capacity: batteryJ,
+			})
+			id++
+		}
+	}
+	return n
+}
+
+// NewRandom builds a network of n nodes placed uniformly in a side×side
+// square.
+func NewRandom(rng *rand.Rand, n int, side, radioRange, batteryJ float64, cost RadioCost) *Network {
+	if n <= 0 || side <= 0 || radioRange <= 0 || batteryJ <= 0 {
+		panic("route: invalid random parameters")
+	}
+	net := &Network{rang: radioRange, cost: cost, BatteryThreshold: 0.2, firstDeathPkt: -1}
+	for i := 0; i < n; i++ {
+		net.nodes = append(net.nodes, &Node{
+			ID: i, X: rng.Float64() * side, Y: rng.Float64() * side,
+			Battery: batteryJ, capacity: batteryJ,
+		})
+	}
+	return net
+}
+
+// Node returns node i.
+func (n *Network) Node(i int) *Node { return n.nodes[i] }
+
+// Size returns the node count.
+func (n *Network) Size() int { return len(n.nodes) }
+
+// NumAlive counts nodes with energy.
+func (n *Network) NumAlive() int {
+	alive := 0
+	for _, nd := range n.nodes {
+		if nd.Alive() {
+			alive++
+		}
+	}
+	return alive
+}
+
+// Stats returns delivery and energy counters: delivered and failed packet
+// counts, total energy spent, packet count at first death (-1 if none).
+func (n *Network) Stats() (delivered, failed int, energyJ float64, firstDeathPkt int) {
+	return n.deliveredPkts, n.failedPkts, n.totalEnergyJ, n.firstDeathPkt
+}
+
+func (n *Network) dist(a, b *Node) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// neighbors yields alive nodes within radio range of a.
+func (n *Network) neighbors(a *Node) []*Node {
+	var out []*Node
+	for _, b := range n.nodes {
+		if b == a || !b.Alive() {
+			continue
+		}
+		if n.dist(a, b) <= n.rang {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// linkEnergy returns the per-bit cost of the a→b link (TX at a + RX at b).
+func (n *Network) linkEnergy(a, b *Node) float64 {
+	d := n.dist(a, b)
+	return n.cost.TxEnergy(1, d) + n.cost.RxEnergy(1)
+}
+
+// Route computes a path from src to dst under the policy, or nil when no
+// path exists among alive nodes.
+func (n *Network) Route(policy Policy, src, dst int) []int {
+	s, d := n.nodes[src], n.nodes[dst]
+	if !s.Alive() || !d.Alive() {
+		return nil
+	}
+	switch policy {
+	case MinHop:
+		return n.dijkstra(src, dst, func(a, b *Node) float64 { return 1 })
+	case MinEnergy:
+		return n.dijkstra(src, dst, n.linkEnergy)
+	case MaxMinBattery:
+		return n.widest(src, dst)
+	case Conditional:
+		p := n.dijkstra(src, dst, n.linkEnergy)
+		if p == nil {
+			return nil
+		}
+		for _, id := range p {
+			if n.nodes[id].Level() < n.BatteryThreshold {
+				return n.widest(src, dst)
+			}
+		}
+		return p
+	default:
+		panic(fmt.Sprintf("route: unknown policy %d", int(policy)))
+	}
+}
+
+// Send routes one packet of the given bit count and drains energy along the
+// path. It reports whether delivery succeeded.
+func (n *Network) Send(policy Policy, src, dst, bits int) bool {
+	path := n.Route(policy, src, dst)
+	if path == nil {
+		n.failedPkts++
+		return false
+	}
+	for i := 0; i+1 < len(path); i++ {
+		a, b := n.nodes[path[i]], n.nodes[path[i+1]]
+		d := n.dist(a, b)
+		tx := n.cost.TxEnergy(bits, d)
+		rx := n.cost.RxEnergy(bits)
+		n.drain(a, tx)
+		n.drain(b, rx)
+		n.totalEnergyJ += tx + rx
+	}
+	n.deliveredPkts++
+	return true
+}
+
+func (n *Network) drain(nd *Node, j float64) {
+	if !nd.Alive() {
+		return
+	}
+	nd.Battery -= j
+	if nd.Battery <= 0 {
+		nd.Battery = 0
+		n.deaths++
+		if n.firstDeathPkt == -1 {
+			n.firstDeathPkt = n.deliveredPkts
+		}
+	}
+}
+
+// --- shortest path machinery ---
+
+type pqItem struct {
+	id    int
+	prio  float64
+	index int
+}
+
+type pq struct {
+	items []*pqItem
+	max   bool // max-heap for widest path
+}
+
+func (q pq) Len() int { return len(q.items) }
+func (q pq) Less(i, j int) bool {
+	if q.max {
+		return q.items[i].prio > q.items[j].prio
+	}
+	return q.items[i].prio < q.items[j].prio
+}
+func (q pq) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+func (q *pq) Push(x any) {
+	it := x.(*pqItem)
+	it.index = len(q.items)
+	q.items = append(q.items, it)
+}
+func (q *pq) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+// dijkstra finds the min-cost path under an additive edge weight.
+func (n *Network) dijkstra(src, dst int, weight func(a, b *Node) float64) []int {
+	const inf = math.MaxFloat64
+	dist := make([]float64, len(n.nodes))
+	prev := make([]int, len(n.nodes))
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{}
+	heap.Push(q, &pqItem{id: src, prio: 0})
+	visited := make([]bool, len(n.nodes))
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		u := it.id
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		if u == dst {
+			break
+		}
+		for _, b := range n.neighbors(n.nodes[u]) {
+			w := weight(n.nodes[u], b)
+			if nd := dist[u] + w; nd < dist[b.ID] {
+				dist[b.ID] = nd
+				prev[b.ID] = u
+				heap.Push(q, &pqItem{id: b.ID, prio: nd})
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return nil
+	}
+	return unwind(prev, src, dst)
+}
+
+// widest finds the path maximizing the minimum battery level of
+// intermediate and endpoint nodes (bottleneck shortest path).
+func (n *Network) widest(src, dst int) []int {
+	width := make([]float64, len(n.nodes))
+	prev := make([]int, len(n.nodes))
+	for i := range width {
+		width[i] = -1
+		prev[i] = -1
+	}
+	width[src] = n.nodes[src].Level()
+	q := &pq{max: true}
+	heap.Push(q, &pqItem{id: src, prio: width[src]})
+	visited := make([]bool, len(n.nodes))
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		u := it.id
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		if u == dst {
+			break
+		}
+		for _, b := range n.neighbors(n.nodes[u]) {
+			w := math.Min(width[u], b.Level())
+			if w > width[b.ID] {
+				width[b.ID] = w
+				prev[b.ID] = u
+				heap.Push(q, &pqItem{id: b.ID, prio: w})
+			}
+		}
+	}
+	if width[dst] < 0 {
+		return nil
+	}
+	return unwind(prev, src, dst)
+}
+
+func unwind(prev []int, src, dst int) []int {
+	var rev []int
+	for at := dst; at != -1; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	out := make([]int, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}

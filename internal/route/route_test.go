@@ -1,0 +1,251 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// line builds a 1×n chain with the given spacing: forced linear topology.
+func line(n int, spacing, rng, battery float64) *Network {
+	return NewGrid(n, 1, spacing, rng, battery, DefaultRadioCost())
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{MinHop, MinEnergy, MaxMinBattery, Conditional} {
+		if p.String() == "" {
+			t.Error("missing name")
+		}
+	}
+}
+
+func TestRadioCostModel(t *testing.T) {
+	c := DefaultRadioCost()
+	// TX over 0 m = electronics only; grows with d².
+	if got := c.TxEnergy(8, 0); math.Abs(got-8*50e-9) > 1e-15 {
+		t.Errorf("TxEnergy(8,0) = %v", got)
+	}
+	if c.TxEnergy(8, 100) <= c.TxEnergy(8, 10) {
+		t.Error("amplifier cost not increasing with distance")
+	}
+	if got := c.RxEnergy(8); math.Abs(got-8*50e-9) > 1e-15 {
+		t.Errorf("RxEnergy = %v", got)
+	}
+}
+
+func TestMinHopOnChain(t *testing.T) {
+	// 5-node chain, range covers 2 hops: min-hop should take the long steps.
+	n := line(5, 10, 25, 1)
+	p := n.Route(MinHop, 0, 4)
+	if len(p) != 3 { // 0 → 2 → 4
+		t.Fatalf("path = %v, want 3 nodes", p)
+	}
+}
+
+func TestMinEnergyPrefersShortHops(t *testing.T) {
+	// With amplifier cost ∝ d², two 10 m hops beat one 20 m hop when
+	// d² dominates: 2×(e+100p·100) vs (e+100p·400)+e.
+	// Use a higher amp constant so the effect is decisive.
+	cost := RadioCost{ElecJPerBit: 10e-9, AmpJPerBitM2: 1e-9}
+	n := NewGrid(3, 1, 10, 25, 1, cost)
+	p := n.Route(MinEnergy, 0, 2)
+	if len(p) != 3 { // 0 → 1 → 2
+		t.Fatalf("min-energy path = %v, want relaying through middle", p)
+	}
+	hop := n.Route(MinHop, 0, 2)
+	if len(hop) != 2 {
+		t.Fatalf("min-hop path = %v, want direct", hop)
+	}
+}
+
+func TestNoPathWhenOutOfRange(t *testing.T) {
+	n := line(3, 50, 25, 1) // gaps larger than range
+	if p := n.Route(MinHop, 0, 2); p != nil {
+		t.Errorf("found impossible path %v", p)
+	}
+	if n.Send(MinHop, 0, 2, 1000) {
+		t.Error("send succeeded without a path")
+	}
+	_, failed, _, _ := n.Stats()
+	if failed != 1 {
+		t.Errorf("failed = %d, want 1", failed)
+	}
+}
+
+func TestSendDrainsBatteries(t *testing.T) {
+	n := line(3, 10, 15, 1)
+	before := n.Node(1).Battery
+	if !n.Send(MinEnergy, 0, 2, 1e6) {
+		t.Fatal("send failed")
+	}
+	if n.Node(1).Battery >= before {
+		t.Error("relay node not drained")
+	}
+	delivered, _, energy, _ := n.Stats()
+	if delivered != 1 || energy <= 0 {
+		t.Errorf("delivered=%d energy=%v", delivered, energy)
+	}
+}
+
+func TestDeadNodesExcluded(t *testing.T) {
+	n := line(3, 10, 15, 1)
+	n.Node(1).Battery = 0 // kill the only relay
+	if p := n.Route(MinHop, 0, 2); p != nil {
+		t.Errorf("routed through dead node: %v", p)
+	}
+}
+
+func TestMaxMinAvoidsDepletedRelay(t *testing.T) {
+	// Two parallel relays; one nearly drained. Max-min must pick the
+	// healthy one, min-energy is indifferent (symmetric geometry) but
+	// deterministic — so force asymmetry via battery only.
+	cost := DefaultRadioCost()
+	net := &Network{rang: 15, cost: cost, BatteryThreshold: 0.2, firstDeathPkt: -1}
+	mk := func(id int, x, y, level float64) *Node {
+		nd := &Node{ID: id, X: x, Y: y, Battery: level, capacity: 1}
+		net.nodes = append(net.nodes, nd)
+		return nd
+	}
+	mk(0, 0, 0, 1)      // src
+	mk(1, 10, 5, 0.9)   // healthy relay
+	mk(2, 10, -5, 0.05) // depleted relay
+	mk(3, 20, 0, 1)     // dst
+	p := net.Route(MaxMinBattery, 0, 3)
+	if len(p) != 3 || p[1] != 1 {
+		t.Errorf("max-min path = %v, want through healthy relay 1", p)
+	}
+}
+
+func TestConditionalSwitchesAtThreshold(t *testing.T) {
+	// A short-hop chain (min-energy route) whose middle node drains below
+	// threshold: conditional must divert to the widest path even if it is
+	// longer/more expensive.
+	cost := RadioCost{ElecJPerBit: 10e-9, AmpJPerBitM2: 1e-9}
+	net := &Network{rang: 30, cost: cost, BatteryThreshold: 0.2, firstDeathPkt: -1}
+	mk := func(id int, x, y, level float64) {
+		net.nodes = append(net.nodes, &Node{ID: id, X: x, Y: y, Battery: level, capacity: 1})
+	}
+	mk(0, 0, 0, 1)
+	mk(1, 10, 0, 1) // cheap relay, healthy for now
+	mk(2, 10, 8, 1) // detour relay
+	mk(3, 20, 0, 1) // dst
+	p1 := net.Route(Conditional, 0, 3)
+	if len(p1) != 3 || p1[1] != 1 {
+		t.Fatalf("healthy conditional path = %v, want through 1", p1)
+	}
+	net.nodes[1].Battery = 0.1 // below threshold
+	p2 := net.Route(Conditional, 0, 3)
+	if len(p2) >= 3 && p2[1] == 1 {
+		t.Errorf("conditional kept using depleted relay: %v", p2)
+	}
+}
+
+func TestLifetimeOrderingAcrossPolicies(t *testing.T) {
+	// Cross-traffic over a grid: battery-aware routing should survive
+	// longer (packets before first death) than pure min-energy, which
+	// hammers the cheapest relays.
+	run := func(policy Policy) int {
+		rng := rand.New(rand.NewSource(5))
+		n := NewGrid(5, 5, 10, 15, 0.02, DefaultRadioCost())
+		for i := 0; i < 40000; i++ {
+			src := rng.Intn(5)              // left edge-ish
+			dst := 20 + rng.Intn(5)         // right edge-ish
+			n.Send(policy, src, dst, 8_000) // 1 KB packets
+			if _, _, _, death := n.Stats(); death != -1 {
+				return death
+			}
+		}
+		return math.MaxInt
+	}
+	minEnergy := run(MinEnergy)
+	maxMin := run(MaxMinBattery)
+	cond := run(Conditional)
+	if maxMin <= minEnergy {
+		t.Errorf("max-min first death at pkt %d, min-energy %d: battery-awareness should extend it",
+			maxMin, minEnergy)
+	}
+	if cond <= minEnergy {
+		t.Errorf("conditional first death at pkt %d should beat min-energy %d", cond, minEnergy)
+	}
+}
+
+func TestEnergyOrderingAcrossPolicies(t *testing.T) {
+	// Min-energy routing spends the least energy per delivered packet.
+	perPkt := func(policy Policy) float64 {
+		rng := rand.New(rand.NewSource(7))
+		n := NewGrid(5, 5, 10, 25, 10, DefaultRadioCost())
+		for i := 0; i < 2000; i++ {
+			n.Send(policy, rng.Intn(25), rng.Intn(25), 8_000)
+		}
+		delivered, _, energy, _ := n.Stats()
+		if delivered == 0 {
+			t.Fatal("nothing delivered")
+		}
+		return energy / float64(delivered)
+	}
+	me := perPkt(MinEnergy)
+	mh := perPkt(MinHop)
+	if me > mh {
+		t.Errorf("min-energy %.3e J/pkt should not exceed min-hop %.3e", me, mh)
+	}
+}
+
+// Property: any returned route starts at src, ends at dst, uses only alive
+// nodes, respects radio range, and has no repeated nodes.
+func TestRouteWellFormedProperty(t *testing.T) {
+	prop := func(seed int64, policyRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := NewRandom(rng, 25, 50, 18, 1, DefaultRadioCost())
+		// Randomly deplete some nodes.
+		for i := 0; i < 5; i++ {
+			n.Node(rng.Intn(25)).Battery = 0
+		}
+		policy := Policy(policyRaw % 4)
+		src, dst := rng.Intn(25), rng.Intn(25)
+		if src == dst {
+			return true
+		}
+		p := n.Route(policy, src, dst)
+		if p == nil {
+			return true // no path is a legal answer
+		}
+		if p[0] != src || p[len(p)-1] != dst {
+			return false
+		}
+		seen := map[int]bool{}
+		for i, id := range p {
+			if seen[id] || !n.Node(id).Alive() {
+				return false
+			}
+			seen[id] = true
+			if i > 0 && n.dist(n.Node(p[i-1]), n.Node(id)) > n.rang+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumAliveAndLevels(t *testing.T) {
+	n := line(4, 10, 15, 1)
+	if n.NumAlive() != 4 {
+		t.Error("wrong alive count")
+	}
+	n.Node(2).Battery = 0
+	if n.NumAlive() != 3 {
+		t.Error("alive count after death wrong")
+	}
+	if n.Node(0).Level() != 1 {
+		t.Error("full battery level wrong")
+	}
+	if n.Node(2).Level() != 0 {
+		t.Error("dead battery level wrong")
+	}
+	if n.Size() != 4 {
+		t.Error("size wrong")
+	}
+}

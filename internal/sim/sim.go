@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. Events are created through Simulator.At and
+// Simulator.Schedule and may be cancelled before they fire.
+type Event struct {
+	at        Time
+	seq       uint64 // tiebreaker: FIFO among events at the same instant
+	fn        func()
+	index     int // position in the heap, -1 once popped
+	cancelled bool
+}
+
+// At returns the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// eventHeap implements container/heap ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a deterministic discrete-event simulation kernel. It owns the
+// virtual clock, the pending-event queue and a seeded random source shared by
+// all stochastic models so runs reproduce exactly for a given seed.
+//
+// Simulator is not safe for concurrent use; the entire simulation executes on
+// a single goroutine, which is what makes determinism cheap.
+type Simulator struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+	limit   uint64 // safety valve against runaway event loops; 0 = unlimited
+}
+
+// New creates a simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand exposes the simulator's deterministic random source. All model
+// randomness must come from here; do not use the global rand functions.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Pending returns the number of events currently queued.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// SetEventLimit installs a safety valve: Run panics after firing more than n
+// events, which turns accidental infinite event loops into a loud failure.
+// n = 0 disables the limit.
+func (s *Simulator) SetEventLimit(n uint64) { s.limit = n }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics, because silently reordering events would
+// corrupt causality.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Schedule schedules fn to run delay after the current time.
+func (s *Simulator) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op, so callers can cancel defensively.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 {
+		heap.Remove(&s.events, e.index)
+	}
+}
+
+// Stop makes Run/RunUntil return after the currently executing event
+// completes. Pending events remain queued.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// step pops and fires the next event. It reports false when the queue is
+// empty or only holds events after horizon.
+func (s *Simulator) step(horizon Time) bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	next := s.events[0]
+	if next.at > horizon {
+		return false
+	}
+	heap.Pop(&s.events)
+	if next.cancelled {
+		return true
+	}
+	s.now = next.at
+	s.fired++
+	if s.limit != 0 && s.fired > s.limit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
+	}
+	next.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.step(MaxTime) {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ horizon, then advances the clock
+// to horizon. Events scheduled after horizon remain queued.
+func (s *Simulator) RunUntil(horizon Time) {
+	if horizon < s.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", horizon, s.now))
+	}
+	s.stopped = false
+	for !s.stopped && s.step(horizon) {
+	}
+	if !s.stopped && s.now < horizon {
+		s.now = horizon
+	}
+}

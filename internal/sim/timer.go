@@ -1,0 +1,104 @@
+package sim
+
+// Timer is a resettable one-shot timer bound to a Simulator. It is the
+// building block for MAC timeouts, ARQ retransmission timers and OS-level
+// inactivity timeouts: all of those are "fire unless something resets me
+// first" patterns.
+type Timer struct {
+	sim   *Simulator
+	fn    func()
+	event *Event
+}
+
+// NewTimer creates a stopped timer that will invoke fn when it expires.
+func NewTimer(s *Simulator, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil timer function")
+	}
+	return &Timer{sim: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d, cancelling any pending expiry.
+func (t *Timer) Reset(d Time) {
+	t.Stop()
+	t.event = t.sim.Schedule(d, func() {
+		t.event = nil
+		t.fn()
+	})
+}
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	t.event = t.sim.At(at, func() {
+		t.event = nil
+		t.fn()
+	})
+}
+
+// Stop cancels the pending expiry, if any. It reports whether a pending
+// expiry was actually cancelled.
+func (t *Timer) Stop() bool {
+	if t.event == nil {
+		return false
+	}
+	t.sim.Cancel(t.event)
+	t.event = nil
+	return true
+}
+
+// Armed reports whether the timer currently has a pending expiry.
+func (t *Timer) Armed() bool { return t.event != nil }
+
+// Deadline returns the pending expiry instant, or MaxTime when stopped.
+func (t *Timer) Deadline() Time {
+	if t.event == nil {
+		return MaxTime
+	}
+	return t.event.At()
+}
+
+// Ticker repeatedly invokes a callback at a fixed period until stopped.
+// The callback runs first at start+period.
+type Ticker struct {
+	sim    *Simulator
+	period Time
+	fn     func()
+	event  *Event
+	live   bool
+}
+
+// NewTicker creates and starts a ticker with the given period.
+func NewTicker(s *Simulator, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	if fn == nil {
+		panic("sim: nil ticker function")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn, live: true}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.event = t.sim.Schedule(t.period, func() {
+		if !t.live {
+			return
+		}
+		t.fn()
+		if t.live {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker; no further callbacks run.
+func (t *Ticker) Stop() {
+	if !t.live {
+		return
+	}
+	t.live = false
+	t.sim.Cancel(t.event)
+	t.event = nil
+}

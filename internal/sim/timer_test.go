@@ -1,0 +1,136 @@
+package sim
+
+import "testing"
+
+func TestTimerFires(t *testing.T) {
+	s := New(1)
+	var firedAt Time = -1
+	tm := NewTimer(s, func() { firedAt = s.Now() })
+	tm.Reset(5 * Millisecond)
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Reset")
+	}
+	if tm.Deadline() != 5*Millisecond {
+		t.Errorf("Deadline() = %v, want 5ms", tm.Deadline())
+	}
+	s.Run()
+	if firedAt != 5*Millisecond {
+		t.Errorf("fired at %v, want 5ms", firedAt)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerResetPushesDeadline(t *testing.T) {
+	s := New(1)
+	var fires []Time
+	tm := NewTimer(s, func() { fires = append(fires, s.Now()) })
+	tm.Reset(5 * Millisecond)
+	s.Schedule(3*Millisecond, func() { tm.Reset(5 * Millisecond) })
+	s.Run()
+	if len(fires) != 1 || fires[0] != 8*Millisecond {
+		t.Errorf("fires = %v, want [8ms]", fires)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := NewTimer(s, func() { fired = true })
+	tm.Reset(Millisecond)
+	if !tm.Stop() {
+		t.Error("Stop() = false on armed timer")
+	}
+	if tm.Stop() {
+		t.Error("Stop() = true on stopped timer")
+	}
+	s.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if tm.Deadline() != MaxTime {
+		t.Errorf("Deadline() of stopped timer = %v, want MaxTime", tm.Deadline())
+	}
+}
+
+func TestTimerResetAt(t *testing.T) {
+	s := New(1)
+	var firedAt Time = -1
+	tm := NewTimer(s, func() { firedAt = s.Now() })
+	tm.ResetAt(7 * Millisecond)
+	s.Run()
+	if firedAt != 7*Millisecond {
+		t.Errorf("fired at %v, want 7ms", firedAt)
+	}
+}
+
+func TestTimerRearmInCallback(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tm *Timer
+	tm = NewTimer(s, func() {
+		count++
+		if count < 3 {
+			tm.Reset(Millisecond)
+		}
+	})
+	tm.Reset(Millisecond)
+	s.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	if s.Now() != 3*Millisecond {
+		t.Errorf("Now() = %v, want 3ms", s.Now())
+	}
+}
+
+func TestTickerPeriodic(t *testing.T) {
+	s := New(1)
+	var ticks []Time
+	tk := NewTicker(s, 10*Millisecond, func() { ticks = append(ticks, s.Now()) })
+	s.Schedule(35*Millisecond, func() { tk.Stop() })
+	s.Run()
+	want := []Time{10 * Millisecond, 20 * Millisecond, 30 * Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(s, Millisecond, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestTickerDoubleStop(t *testing.T) {
+	s := New(1)
+	tk := NewTicker(s, Millisecond, func() {})
+	tk.Stop()
+	tk.Stop() // must not panic
+	s.Run()
+}
+
+func TestNewTickerInvalidPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	NewTicker(New(1), 0, func() {})
+}

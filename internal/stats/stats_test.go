@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasic(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if !almostEq(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// population variance is 4; sample variance = 32/7
+	if !almostEq(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if !almostEq(s.Sum(), 40, 1e-9) {
+		t.Errorf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+}
+
+func TestSummaryAddN(t *testing.T) {
+	var a, b Summary
+	a.AddN(3.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(3.5)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() {
+		t.Error("AddN disagrees with repeated Add")
+	}
+}
+
+// Property: mean lies within [min, max] and variance is non-negative.
+func TestSummaryProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		var s Summary
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Keep magnitudes sane to avoid float overflow artifacts.
+			if math.Abs(x) > 1e12 {
+				x = math.Mod(x, 1e12)
+			}
+			s.Add(x)
+		}
+		if s.N() > 0 {
+			ok = ok && s.Mean() >= s.Min()-1e-6 && s.Mean() <= s.Max()+1e-6
+			ok = ok && s.Variance() >= -1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 10)  // 10 for 2s
+	w.Set(2, 0)   // 0 for 3s
+	w.Set(5, 100) // 100 for 5s
+	mean := w.Finish(10)
+	// (10*2 + 0*3 + 100*5) / 10 = 52
+	if !almostEq(mean, 52, 1e-12) {
+		t.Errorf("mean = %v, want 52", mean)
+	}
+	if !almostEq(w.Integral(), 520, 1e-12) {
+		t.Errorf("Integral = %v, want 520", w.Integral())
+	}
+	if w.Min() != 0 || w.Max() != 100 {
+		t.Errorf("Min/Max = %v/%v, want 0/100", w.Min(), w.Max())
+	}
+	if !almostEq(w.Elapsed(), 10, 1e-12) {
+		t.Errorf("Elapsed = %v, want 10", w.Elapsed())
+	}
+}
+
+func TestTimeWeightedEmptyAndSingle(t *testing.T) {
+	var w TimeWeighted
+	if w.Mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+	w.Set(3, 7)
+	if got := w.Finish(5); !almostEq(got, 7, 1e-12) {
+		t.Errorf("single-level mean = %v, want 7", got)
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards time did not panic")
+		}
+	}()
+	var w TimeWeighted
+	w.Set(5, 1)
+	w.Set(4, 1)
+}
+
+func TestHistogramBinsAndQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Errorf("N = %d, want 100", h.N())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bin(i) != 10 {
+			t.Errorf("bin %d = %d, want 10", i, h.Bin(i))
+		}
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median = %v, want ~50", med)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("Quantile(1) = %v, want 100", q)
+	}
+}
+
+func TestHistogramOverUnderflow(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-5)
+	h.Add(15)
+	h.Add(10) // boundary: hi is exclusive
+	h.Add(5)
+	if h.N() != 4 {
+		t.Errorf("N = %d, want 4", h.N())
+	}
+	total := h.under + h.over
+	if total != 3 {
+		t.Errorf("under+over = %d, want 3", total)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(2)
+	h.Add(4)
+	if !almostEq(h.Mean(), 3, 1e-12) {
+		t.Errorf("Mean = %v, want 3", h.Mean())
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(10, 0, 5)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("p0 = %v, want 1", p)
+	}
+	if p := Percentile(xs, 1); p != 9 {
+		t.Errorf("p100 = %v, want 9", p)
+	}
+	if p := Percentile(xs, 0.5); !almostEq(p, 5, 1e-12) {
+		t.Errorf("p50 = %v, want 5", p)
+	}
+	if p := Percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %v, want 0", p)
+	}
+	// Input must not be mutated.
+	if xs[0] != 9 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if f := JainFairness([]float64{1, 1, 1, 1}); !almostEq(f, 1, 1e-12) {
+		t.Errorf("equal allocations fairness = %v, want 1", f)
+	}
+	if f := JainFairness([]float64{1, 0, 0, 0}); !almostEq(f, 0.25, 1e-12) {
+		t.Errorf("maximally unfair = %v, want 0.25", f)
+	}
+	if f := JainFairness(nil); f != 0 {
+		t.Errorf("empty fairness = %v, want 0", f)
+	}
+	if f := JainFairness([]float64{0, 0}); f != 1 {
+		t.Errorf("all-zero fairness = %v, want 1", f)
+	}
+}
+
+// Property: Jain's index always lies in [1/n, 1] for non-negative inputs.
+func TestJainFairnessBoundsProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		f := JainFairness(xs)
+		n := float64(len(xs))
+		return f >= 1/n-1e-9 && f <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure 2", "strategy", "power (W)")
+	tb.AddRow("WLAN", "1.40")
+	tb.AddRow("Bluetooth", "0.45")
+	tb.AddRowf("Hotspot", "%.2f", 0.04)
+	tb.AddNote("saving %.0f%%", 97.0)
+	out := tb.String()
+	for _, want := range []string{"Figure 2", "strategy", "WLAN", "Bluetooth", "0.04", "note: saving 97%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 3 {
+		t.Errorf("NumRows = %d, want 3", tb.NumRows())
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 3 rows + note
+	if len(lines) != 7 {
+		t.Errorf("table has %d lines, want 7:\n%s", len(lines), out)
+	}
+}
+
+func TestTableExtraCells(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "y", "z")
+	out := tb.String()
+	if !strings.Contains(out, "z") {
+		t.Errorf("extra cells dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// WritePowerCSV exports a power trace as "seconds,watts" rows for external
+// plotting, one row per level change plus a final row at end.
+func WritePowerCSV(w io.Writer, p *PowerTrace, end sim.Time) error {
+	if _, err := fmt.Fprintln(w, "seconds,watts"); err != nil {
+		return err
+	}
+	for _, s := range p.samples {
+		if _, err := fmt.Fprintf(w, "%.6f,%.6f\n", s.At.Seconds(), s.Watts); err != nil {
+			return err
+		}
+	}
+	if n := len(p.samples); n > 0 && p.samples[n-1].At < end {
+		if _, err := fmt.Fprintf(w, "%.6f,%.6f\n", end.Seconds(), p.samples[n-1].Watts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteWindowsCSV exports transfer windows as "lane,start_s,end_s" rows,
+// sorted by start time — the raw data behind a Figure 1 rendering.
+func WriteWindowsCSV(w io.Writer, windows []Window) error {
+	if _, err := fmt.Fprintln(w, "lane,start_s,end_s"); err != nil {
+		return err
+	}
+	sorted := append([]Window(nil), windows...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].Lane < sorted[j].Lane
+	})
+	for _, win := range sorted {
+		if _, err := fmt.Fprintf(w, "%d,%.6f,%.6f\n",
+			win.Lane, win.Start.Seconds(), win.End.Seconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
