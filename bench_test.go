@@ -1,7 +1,9 @@
-// Benchmark harness: one benchmark per reproduced figure/table (FIG1, FIG2,
-// E3–E15) plus the design ablations. Each benchmark runs the exact code
-// path behind the corresponding cmd/figgen experiment and reports the
-// experiment's headline quantity as a custom metric, so
+// Benchmark harness: one sub-benchmark per registered experiment (FIG1,
+// FIG2, E3–E17 plus the design ablations), driven entirely by the scenario
+// registry — registering a new experiment in internal/exp adds its
+// benchmark here with no further edits. Each sub-benchmark runs the exact
+// code path behind the corresponding cmd/figgen experiment and reports the
+// experiment's key figures as custom metrics, so
 //
 //	go test -bench=. -benchmem
 //
@@ -9,187 +11,56 @@
 package repro
 
 import (
+	"sort"
+	"strings"
 	"testing"
 
-	"repro/internal/exp"
-	"repro/internal/sim"
+	_ "repro/internal/exp" // register the experiment catalogue
+	"repro/internal/scenario"
 )
 
-func BenchmarkFigure1Schedule(b *testing.B) {
-	var slots float64
-	for i := 0; i < b.N; i++ {
-		r := exp.Figure1(int64(i + 1))
-		slots = r.Values["slots"]
+func BenchmarkExperiments(b *testing.B) {
+	for _, spec := range scenario.All() {
+		b.Run(spec.Name, func(b *testing.B) {
+			var last scenario.Result
+			for i := 0; i < b.N; i++ {
+				last = spec.Run(int64(i + 1))
+			}
+			names := make([]string, 0, len(last.Values))
+			for k := range last.Values {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			for _, k := range names {
+				b.ReportMetric(last.Values[k], metricUnit(k))
+			}
+		})
 	}
-	b.ReportMetric(slots, "slots")
 }
 
-func BenchmarkFigure2AveragePower(b *testing.B) {
-	var saving, hsW float64
-	for i := 0; i < b.N; i++ {
-		r := exp.Figure2(int64(i+1), 3*sim.Minute)
-		saving = r.Values["saving"]
-		hsW = r.Values["hsW"]
-	}
-	b.ReportMetric(saving*100, "%saving")
-	b.ReportMetric(hsW*1000, "hotspot-mW")
+// metricUnit turns a Values key into a benchmark metric unit: testing
+// forbids whitespace in units, and slashes read as quotients, so both are
+// replaced.
+func metricUnit(key string) string {
+	key = strings.ReplaceAll(key, " ", "_")
+	key = strings.ReplaceAll(key, "/", ".")
+	return key
 }
 
-func BenchmarkE3ListenFraction(b *testing.B) {
-	var idle float64
-	for i := 0; i < b.N; i++ {
-		idle = exp.E3ListenFraction(int64(i + 1)).Values["idleFraction"]
+// BenchmarkRunnerMultiSeed exercises the full multi-seed aggregation path
+// the CLIs use, so Runner overhead (pool scheduling + CI aggregation)
+// stays visible in benchmark history.
+func BenchmarkRunnerMultiSeed(b *testing.B) {
+	spec, ok := scenario.Lookup("e17")
+	if !ok {
+		b.Fatal("e17 not registered")
 	}
-	b.ReportMetric(idle*100, "%idle")
-}
-
-func BenchmarkE4PSMvsCAM(b *testing.B) {
-	var camW, psmW float64
+	seeds := scenario.Seeds(1, 4)
+	r := &scenario.Runner{Parallel: 4}
 	for i := 0; i < b.N; i++ {
-		r := exp.E4PSMvsCAM(int64(i + 1))
-		camW, psmW = r.Values["cam-0.5"], r.Values["psm100-0.5"]
+		aggs := r.Run([]scenario.Spec{spec}, seeds)
+		if len(aggs[0].Metrics) == 0 {
+			b.Fatal("no metrics")
+		}
 	}
-	b.ReportMetric(camW*1000, "cam-mW")
-	b.ReportMetric(psmW*1000, "psm-mW")
-}
-
-func BenchmarkE5ECMAC(b *testing.B) {
-	var ecW float64
-	for i := 0; i < b.N; i++ {
-		ecW = exp.E5MACComparison(int64(i + 1)).Values["ecmacW"]
-	}
-	b.ReportMetric(ecW*1000, "ecmac-mW")
-}
-
-func BenchmarkE6Aggregation(b *testing.B) {
-	var epb float64
-	for i := 0; i < b.N; i++ {
-		epb = exp.E6Aggregation(int64(i + 1)).Values["epb-16"]
-	}
-	b.ReportMetric(epb*1e6, "uJ/bit@k16")
-}
-
-func BenchmarkE7PAMAS(b *testing.B) {
-	var death float64
-	for i := 0; i < b.N; i++ {
-		death = exp.E7PAMAS(int64(i + 1)).Values["death-pamas"]
-	}
-	b.ReportMetric(death, "first-death-s")
-}
-
-func BenchmarkE8ARQvsFEC(b *testing.B) {
-	var arqLow, hybHigh float64
-	for i := 0; i < b.N; i++ {
-		r := exp.E8ARQvsFEC(int64(i + 1))
-		arqLow, hybHigh = r.Values["arq-1e-07"], r.Values["hyb-1e-04"]
-	}
-	b.ReportMetric(arqLow*1e6, "arq-uJ/bit@1e-7")
-	b.ReportMetric(hybHigh*1e6, "hyb-uJ/bit@1e-4")
-}
-
-func BenchmarkE9AdaptiveARQ(b *testing.B) {
-	var acc float64
-	for i := 0; i < b.N; i++ {
-		acc = exp.E9AdaptiveARQ(int64(i + 1)).Values["acc-adaptive/last-state"]
-	}
-	b.ReportMetric(acc, "last-state-acc")
-}
-
-func BenchmarkE10SplitTCP(b *testing.B) {
-	var gain float64
-	for i := 0; i < b.N; i++ {
-		r := exp.E10SplitTCP(int64(i + 1))
-		gain = r.Values["split-3e-06"] / r.Values["e2e-3e-06"]
-	}
-	b.ReportMetric(gain, "split-gain@3e-6")
-}
-
-func BenchmarkE11DPMPolicies(b *testing.B) {
-	var onJ, oracleJ float64
-	for i := 0; i < b.N; i++ {
-		r := exp.E11DPM(int64(i + 1))
-		onJ, oracleJ = r.Values["energy-always-on"], r.Values["energy-oracle"]
-	}
-	b.ReportMetric(onJ, "always-on-J")
-	b.ReportMetric(oracleJ, "oracle-J")
-}
-
-func BenchmarkE12ProxyAdaptation(b *testing.B) {
-	var save float64
-	for i := 0; i < b.N; i++ {
-		r := exp.E12ProxyAdaptation(int64(i + 1))
-		save = 1 - r.Values["energyAdapt"]/r.Values["energyFull"]
-	}
-	b.ReportMetric(save*100, "%energy-saved")
-}
-
-func BenchmarkE13Schedulers(b *testing.B) {
-	var edfUnder float64
-	for i := 0; i < b.N; i++ {
-		edfUnder = exp.E13Schedulers(int64(i + 1)).Values["under-edf"]
-	}
-	b.ReportMetric(edfUnder, "edf-underruns")
-}
-
-func BenchmarkE14BurstSize(b *testing.B) {
-	var w2, w40 float64
-	for i := 0; i < b.N; i++ {
-		r := exp.E14BurstSize(int64(i + 1))
-		w2, w40 = r.Values["power-2s"], r.Values["power-40s"]
-	}
-	b.ReportMetric(w2*1000, "mW@2s")
-	b.ReportMetric(w40*1000, "mW@40s")
-}
-
-func BenchmarkE15InterfaceSwitch(b *testing.B) {
-	var switches, underruns float64
-	for i := 0; i < b.N; i++ {
-		r := exp.E15InterfaceSwitch(int64(i + 1))
-		switches, underruns = r.Values["switches"], r.Values["underruns"]
-	}
-	b.ReportMetric(switches, "switches")
-	b.ReportMetric(underruns, "underruns")
-}
-
-func BenchmarkE16Routing(b *testing.B) {
-	var gain float64
-	for i := 0; i < b.N; i++ {
-		r := exp.E16Routing(int64(i + 1))
-		gain = r.Values["death-max-min-battery"] / r.Values["death-min-energy"]
-	}
-	b.ReportMetric(gain, "lifetime-gain")
-}
-
-func BenchmarkE17DVS(b *testing.B) {
-	var save float64
-	for i := 0; i < b.N; i++ {
-		r := exp.E17DVS(int64(i + 1))
-		save = 1 - r.Values["cc-0.3"]/r.Values["no-0.3"]
-	}
-	b.ReportMetric(save*100, "%saving@30%util")
-}
-
-func BenchmarkAblationInterfaceSelection(b *testing.B) {
-	var pinnedStall float64
-	for i := 0; i < b.N; i++ {
-		pinnedStall = exp.AblationInterfaceSelection(int64(i + 1)).Values["pinnedStall"]
-	}
-	b.ReportMetric(pinnedStall, "pinned-stall-s")
-}
-
-func BenchmarkAblationMargin(b *testing.B) {
-	var thinUrgents float64
-	for i := 0; i < b.N; i++ {
-		thinUrgents = exp.AblationMargin(int64(i + 1)).Values["thinUrgents"]
-	}
-	b.ReportMetric(thinUrgents, "thin-urgents")
-}
-
-func BenchmarkAblationBurstAggregation(b *testing.B) {
-	var ratio float64
-	for i := 0; i < b.N; i++ {
-		r := exp.AblationBurstAggregation(int64(i + 1))
-		ratio = r.Values["smallW"] / r.Values["bigW"]
-	}
-	b.ReportMetric(ratio, "smallburst-power-x")
 }

@@ -1,94 +1,165 @@
-// Command figgen regenerates every figure and experiment of the
-// reproduction: the paper's Figure 1 (sample schedule) and Figure 2
-// (average power bars), the survey experiments E3–E15 derived from the
-// paper's Section 1 claims, and the design ablations.
+// Command figgen regenerates the figures and experiments of the
+// reproduction from the scenario registry: every experiment registered by
+// internal/exp (the paper's figures, the Section 1 survey experiments and
+// the design ablations) is available by name, regex or tag. Run
+// `figgen -list` for the authoritative catalogue — it is generated from
+// the registry, so it never drifts from the code.
 //
 // Usage:
 //
-//	figgen [-seed N] [-list] [experiment ...]
+//	figgen [-seed N] [-seeds N] [-parallel N] [-run REGEX] [-tags T1,T2]
+//	       [-json] [-list] [experiment ...]
 //
-// With no arguments every experiment runs in order. Experiment names:
-// fig1 fig2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17
-// ablation-iface ablation-margin ablation-burst
+// With no selection flags every experiment runs in order. All (experiment
+// × seed) jobs run on a -parallel-bounded worker pool; the output is
+// identical for every -parallel value, only the wall clock changes. With
+// -seeds N > 1 each selected experiment runs on N consecutive seeds (base
+// -seed) and figgen reports each metric's mean ± 95% confidence interval.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
-	"repro/internal/exp"
-	"repro/internal/sim"
+	_ "repro/internal/exp" // register the experiment catalogue
+	"repro/internal/scenario"
 )
 
-type experiment struct {
-	name string
-	desc string
-	run  func(seed int64) exp.Result
-}
-
-func catalogue() []experiment {
-	return []experiment{
-		{"fig1", "Figure 1: sample schedule (transfers + power levels)", exp.Figure1},
-		{"fig2", "Figure 2: average WNIC power, 3 MP3 clients", func(s int64) exp.Result {
-			return exp.Figure2(s, 5*sim.Minute)
-		}},
-		{"e3", "E3: unmanaged WLAN listens ~90% of the time", exp.E3ListenFraction},
-		{"e4", "E4: 802.11 PSM vs CAM across loads", exp.E4PSMvsCAM},
-		{"e5", "E5: CAM vs PSM vs EC-MAC", exp.E5MACComparison},
-		{"e6", "E6: MAC-layer aggregation sweep", exp.E6Aggregation},
-		{"e7", "E7: PAMAS overhearing avoidance + battery sleep", exp.E7PAMAS},
-		{"e8", "E8: ARQ vs FEC energy crossover", exp.E8ARQvsFEC},
-		{"e9", "E9: adaptive ARQ with channel prediction", exp.E9AdaptiveARQ},
-		{"e10", "E10: end-to-end vs split TCP", exp.E10SplitTCP},
-		{"e11", "E11: OS-level DPM policies", exp.E11DPM},
-		{"e12", "E12: proxy content adaptation", exp.E12ProxyAdaptation},
-		{"e13", "E13: EDF vs WFQ vs round-robin", exp.E13Schedulers},
-		{"e14", "E14: burst-size sweep", exp.E14BurstSize},
-		{"e15", "E15: seamless interface switching", exp.E15InterfaceSwitch},
-		{"e16", "E16: energy-efficient ad-hoc routing", exp.E16Routing},
-		{"e17", "E17: CPU voltage scaling under EDF", exp.E17DVS},
-		{"ablation-iface", "ablation: interface selection off", exp.AblationInterfaceSelection},
-		{"ablation-margin", "ablation: buffer margin", exp.AblationMargin},
-		{"ablation-burst", "ablation: burst aggregation", exp.AblationBurstAggregation},
-	}
+type options struct {
+	seed     int64
+	seeds    int
+	parallel int
+	pattern  string
+	tags     string
+	jsonOut  bool
+	list     bool
+	names    []string
 }
 
 func main() {
-	seed := flag.Int64("seed", 1, "simulation seed")
-	list := flag.Bool("list", false, "list experiments and exit")
+	var o options
+	flag.Int64Var(&o.seed, "seed", 1, "base simulation seed")
+	flag.IntVar(&o.seeds, "seeds", 1, "number of consecutive seeds per experiment")
+	flag.IntVar(&o.parallel, "parallel", 1, "worker pool size for (experiment × seed) jobs")
+	flag.StringVar(&o.pattern, "run", "", "run only experiments whose name matches this anchored regexp")
+	flag.StringVar(&o.tags, "tags", "", "run only experiments carrying one of these comma-separated tags")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON instead of tables")
+	flag.BoolVar(&o.list, "list", false, "list experiments and exit")
 	flag.Parse()
+	o.names = flag.Args()
 
-	cat := catalogue()
-	if *list {
-		for _, e := range cat {
-			fmt.Printf("%-16s %s\n", e.name, e.desc)
-		}
-		return
+	if err := run(os.Stdout, o); err != nil {
+		fmt.Fprintf(os.Stderr, "figgen: %v\n", err)
+		os.Exit(2)
 	}
+}
 
-	want := flag.Args()
-	selected := map[string]bool{}
-	for _, w := range want {
-		selected[w] = true
+// run executes figgen against the global registry, writing all output to w.
+func run(w io.Writer, o options) error {
+	if o.list {
+		list(w)
+		return nil
 	}
-	known := map[string]bool{}
-	for _, e := range cat {
-		known[e.name] = true
+	specs, err := selectSpecs(o)
+	if err != nil {
+		return err
 	}
-	for _, w := range want {
-		if !known[w] {
-			fmt.Fprintf(os.Stderr, "figgen: unknown experiment %q (use -list)\n", w)
-			os.Exit(2)
+	if len(specs) == 0 {
+		return fmt.Errorf("no experiments match (use -list)")
+	}
+	// Every run goes through the Runner so -parallel fans (experiment ×
+	// seed) jobs even at -seeds 1; single-seed output renders the classic
+	// per-experiment tables from the lone per-seed result.
+	seeds := scenario.Seeds(o.seed, o.seeds)
+	runner := &scenario.Runner{Parallel: o.parallel}
+	aggs := runner.Run(specs, seeds)
+	if o.jsonOut {
+		docs := make([]jsonExperiment, 0, len(aggs))
+		for _, agg := range aggs {
+			if len(seeds) == 1 {
+				docs = append(docs, jsonSingle(agg.Spec, seeds[0], agg.PerSeed[0]))
+			} else {
+				docs = append(docs, jsonAgg(agg))
+			}
+		}
+		return writeJSON(w, docs)
+	}
+	for _, agg := range aggs {
+		fmt.Fprintf(w, "=== %s — %s\n", agg.Spec.Name, agg.Spec.Desc)
+		if len(seeds) == 1 {
+			fmt.Fprintln(w, agg.PerSeed[0].Table)
+		} else {
+			fmt.Fprintln(w, agg.Table())
 		}
 	}
+	return nil
+}
 
-	for _, e := range cat {
-		if len(selected) > 0 && !selected[e.name] {
-			continue
+// selectSpecs resolves the -run / -tags / positional-name selection.
+func selectSpecs(o options) ([]scenario.Spec, error) {
+	var tags []string
+	for _, t := range strings.Split(o.tags, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tags = append(tags, t)
 		}
-		fmt.Printf("=== %s — %s\n", e.name, e.desc)
-		r := e.run(*seed)
-		fmt.Println(r.Table)
 	}
+	return scenario.Match(o.pattern, tags, o.names)
+}
+
+// list prints the registry-generated catalogue: names, descriptions, tags.
+func list(w io.Writer) {
+	for _, s := range scenario.All() {
+		fmt.Fprintf(w, "%-16s %-55s [%s]\n", s.Name, s.Desc, strings.Join(s.Tags, ","))
+	}
+}
+
+// jsonExperiment is figgen's -json document, one object per experiment.
+type jsonExperiment struct {
+	Experiment string             `json:"experiment"`
+	Desc       string             `json:"desc"`
+	Tags       []string           `json:"tags"`
+	Seeds      []int64            `json:"seeds"`
+	Values     map[string]float64 `json:"values,omitempty"`  // single seed
+	Metrics    []jsonMetric       `json:"metrics,omitempty"` // multi seed
+}
+
+type jsonMetric struct {
+	Name string  `json:"name"`
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	N    int     `json:"n"`
+}
+
+func jsonSingle(s scenario.Spec, seed int64, r scenario.Result) jsonExperiment {
+	return jsonExperiment{
+		Experiment: s.Name, Desc: s.Desc, Tags: s.Tags,
+		Seeds: []int64{seed}, Values: r.Values,
+	}
+}
+
+func jsonAgg(a scenario.AggResult) jsonExperiment {
+	doc := jsonExperiment{
+		Experiment: a.Spec.Name, Desc: a.Spec.Desc, Tags: a.Spec.Tags,
+		Seeds: a.Seeds,
+	}
+	for _, m := range a.Metrics {
+		doc.Metrics = append(doc.Metrics, jsonMetric{
+			Name: m.Name, Mean: m.Mean, CI95: m.CI95, Min: m.Min, Max: m.Max, N: m.N,
+		})
+	}
+	return doc
+}
+
+// writeJSON emits all selected experiments as one JSON array, so -json
+// output is always a single valid document however many experiments ran.
+func writeJSON(w io.Writer, docs []jsonExperiment) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(docs)
 }

@@ -1,10 +1,14 @@
-// Command hotspotsim runs one Hotspot resource-manager scenario with
-// configurable clients, scheduler, interface policy and duration, printing
-// the per-client power/QoS report and optionally the schedule.
+// Command hotspotsim runs a Hotspot resource-manager scenario with
+// configurable clients, scheduler, interface policy and duration. A single
+// seed prints the detailed per-client power/QoS report (and optionally the
+// schedule); with -seeds N > 1 the scenario runs on the scenario engine's
+// Runner across N consecutive seeds and reports each metric as mean ±
+// 95% CI.
 //
 // Example:
 //
 //	hotspotsim -clients 3 -duration 120 -scheduler edf -policy adaptive -slots
+//	hotspotsim -clients 3 -wlan-outage 40 -seeds 8 -parallel 8
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -21,63 +26,108 @@ func main() {
 	var (
 		nClients  = flag.Int("clients", 3, "number of MP3-streaming clients")
 		duration  = flag.Float64("duration", 120, "simulated seconds")
-		seed      = flag.Int64("seed", 1, "simulation seed")
+		seed      = flag.Int64("seed", 1, "base simulation seed")
+		seedsN    = flag.Int("seeds", 1, "number of consecutive seeds")
+		parallel  = flag.Int("parallel", 1, "worker pool size for multi-seed runs")
 		schedName = flag.String("scheduler", "edf", "scheduler: edf | wfq | rr")
 		polName   = flag.String("policy", "adaptive", "interface policy: adaptive | wlan | bt")
 		epoch     = flag.Float64("epoch", 10, "scheduling epoch (burst period) in seconds")
-		showSlots = flag.Bool("slots", false, "print the burst schedule")
+		showSlots = flag.Bool("slots", false, "print the burst schedule (single seed only)")
 		outageAt  = flag.Float64("wlan-outage", 0, "force a WLAN outage at this second (0 = none)")
 		outageLen = flag.Float64("outage-len", 40, "outage length in seconds")
 	)
 	flag.Parse()
 
-	cfg := core.DefaultConfig()
-	cfg.Epoch = sim.FromSeconds(*epoch)
+	// Validate the selector flags exactly once, before any simulation (and
+	// before the Runner's workers start): mkConfig itself must stay
+	// error-free because it runs per seed on pool goroutines.
+	var mkSched func() core.Scheduler
 	switch *schedName {
 	case "edf":
-		cfg.Scheduler = core.EDF{}
+		mkSched = func() core.Scheduler { return core.EDF{} }
 	case "wfq":
-		cfg.Scheduler = core.NewWFQ()
+		mkSched = func() core.Scheduler { return core.NewWFQ() }
 	case "rr":
-		cfg.Scheduler = core.RoundRobin{}
+		mkSched = func() core.Scheduler { return core.RoundRobin{} }
 	default:
 		fmt.Fprintf(os.Stderr, "hotspotsim: unknown scheduler %q\n", *schedName)
 		os.Exit(2)
 	}
+	var policy core.IfacePolicy
 	switch *polName {
 	case "adaptive":
-		cfg.Policy = core.PolicyAdaptive
+		policy = core.PolicyAdaptive
 	case "wlan":
-		cfg.Policy = core.PolicyWLANOnly
+		policy = core.PolicyWLANOnly
 	case "bt":
-		cfg.Policy = core.PolicyBTOnly
+		policy = core.PolicyBTOnly
 	default:
 		fmt.Fprintf(os.Stderr, "hotspotsim: unknown policy %q\n", *polName)
 		os.Exit(2)
 	}
-
-	h := core.NewHotspot(*seed, cfg, *nClients)
-	if *outageAt > 0 {
-		at := sim.FromSeconds(*outageAt)
-		h.Sim().At(at, func() { h.Channel(core.WLAN).ForceState(channel.Bad) })
-		h.Sim().At(at+sim.FromSeconds(*outageLen), func() {
-			h.Channel(core.WLAN).ForceState(channel.Good)
-		})
+	mkConfig := func() core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Epoch = sim.FromSeconds(*epoch)
+		cfg.Scheduler = mkSched()
+		cfg.Policy = policy
+		return cfg
 	}
-	rep := h.Run(sim.FromSeconds(*duration))
 
-	fmt.Println(rep)
-	fmt.Printf("urgent top-ups: %d\n", h.RM().Urgents())
-	if rep.QoSMaintained() {
-		fmt.Println("QoS: maintained (no playout underruns)")
-	} else {
-		fmt.Printf("QoS: %d underruns, %.1fs total stall\n",
-			rep.TotalUnderruns, rep.TotalStall.Seconds())
-	}
-	if *showSlots {
-		fmt.Println("\nschedule:")
-		for _, s := range rep.Slots {
-			fmt.Printf("  %-9s %s\n", s.Kind, s)
+	runOne := func(s int64) (*core.Hotspot, core.Report) {
+		h := core.NewHotspot(s, mkConfig(), *nClients)
+		if *outageAt > 0 {
+			at := sim.FromSeconds(*outageAt)
+			h.Sim().At(at, func() { h.Channel(core.WLAN).ForceState(channel.Bad) })
+			h.Sim().At(at+sim.FromSeconds(*outageLen), func() {
+				h.Channel(core.WLAN).ForceState(channel.Good)
+			})
 		}
+		rep := h.Run(sim.FromSeconds(*duration))
+		return h, rep
 	}
+
+	if *seedsN <= 1 {
+		h, rep := runOne(*seed)
+		fmt.Println(rep)
+		fmt.Printf("urgent top-ups: %d\n", h.RM().Urgents())
+		if rep.QoSMaintained() {
+			fmt.Println("QoS: maintained (no playout underruns)")
+		} else {
+			fmt.Printf("QoS: %d underruns, %.1fs total stall\n",
+				rep.TotalUnderruns, rep.TotalStall.Seconds())
+		}
+		if *showSlots {
+			fmt.Println("\nschedule:")
+			for _, s := range rep.Slots {
+				fmt.Printf("  %-9s %s\n", s.Kind, s)
+			}
+		}
+		return
+	}
+
+	// Multi-seed: wrap the configured scenario as an ad-hoc spec and let
+	// the Runner fan (seed) jobs across the pool and aggregate the CI.
+	spec := scenario.Spec{
+		Name: "hotspot",
+		Desc: fmt.Sprintf("%d clients, %s/%s, epoch %.0fs", *nClients, *schedName, *polName, *epoch),
+		Tags: []string{"hotspot"},
+		Run: func(s int64) scenario.Result {
+			h, rep := runOne(s)
+			switches := 0
+			for _, c := range h.RM().Clients() {
+				switches += c.Switches()
+			}
+			return scenario.Result{Name: "hotspot", Values: map[string]float64{
+				"meanW":     rep.MeanPowerW,
+				"underruns": float64(rep.TotalUnderruns),
+				"stallS":    rep.TotalStall.Seconds(),
+				"urgents":   float64(h.RM().Urgents()),
+				"switches":  float64(switches),
+				"slots":     float64(len(rep.Slots)),
+			}}
+		},
+	}
+	runner := &scenario.Runner{Parallel: *parallel}
+	agg := runner.Run([]scenario.Spec{spec}, scenario.Seeds(*seed, *seedsN))[0]
+	fmt.Print(agg.Table())
 }

@@ -1,11 +1,12 @@
 // Command macbench compares the power-saving MAC protocols from the
 // paper's Section 1 survey — CAM (plain DCF), 802.11 PSM and EC-MAC — on a
-// configurable downlink load, printing per-protocol client power,
-// collisions and delivery statistics.
+// configurable downlink load. The sweep runs on the scenario engine's
+// Runner: with -seeds N each protocol is measured across N consecutive
+// seeds on a -parallel-bounded worker pool and reported as mean ± 95% CI.
 //
 // Example:
 //
-//	macbench -stations 4 -rate 16 -duration 30
+//	macbench -stations 4 -rate 16 -duration 30 -seeds 8 -parallel 8
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"repro/internal/mac/ecmac"
 	"repro/internal/mac/psm"
 	"repro/internal/radio"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -26,7 +28,9 @@ func main() {
 		stationsN = flag.Int("stations", 4, "number of client stations")
 		rateKBs   = flag.Float64("rate", 16, "downlink KB/s per station")
 		duration  = flag.Float64("duration", 30, "simulated seconds")
-		seed      = flag.Int64("seed", 1, "simulation seed")
+		seed      = flag.Int64("seed", 1, "base simulation seed")
+		seedsN    = flag.Int("seeds", 1, "number of consecutive seeds per protocol")
+		parallel  = flag.Int("parallel", 1, "worker pool size for (protocol × seed) jobs")
 	)
 	flag.Parse()
 
@@ -34,21 +38,59 @@ func main() {
 	interval := sim.FromSeconds(float64(chunk) / (*rateKBs * 1024))
 	dur := sim.FromSeconds(*duration)
 
+	specs := protocolSpecs(*stationsN, chunk, interval, dur)
+	seeds := scenario.Seeds(*seed, *seedsN)
+	runner := &scenario.Runner{Parallel: *parallel}
+	aggs := runner.Run(specs, seeds)
+
 	t := stats.NewTable(
-		fmt.Sprintf("MAC comparison — %d stations, %.0f KB/s each, %.0fs",
-			*stationsN, *rateKBs, *duration),
-		"protocol", "client avg W", "collisions", "frames delivered")
-
-	camW, camColl, camRecv := runDCF(*seed, *stationsN, chunk, interval, dur, false)
-	t.AddRow("CAM (DCF)", fmt.Sprintf("%.3f", camW), fmt.Sprintf("%d", camColl), fmt.Sprintf("%d", camRecv))
-
-	psmW, psmColl, psmRecv := runDCF(*seed, *stationsN, chunk, interval, dur, true)
-	t.AddRow("802.11 PSM", fmt.Sprintf("%.3f", psmW), fmt.Sprintf("%d", psmColl), fmt.Sprintf("%d", psmRecv))
-
-	ecW, ecRecv := runECMAC(*seed, *stationsN, chunk, interval, dur)
-	t.AddRow("EC-MAC", fmt.Sprintf("%.3f", ecW), "0", fmt.Sprintf("%d", ecRecv))
-
+		fmt.Sprintf("MAC comparison — %d stations, %.0f KB/s each, %.0fs, %d seed(s)",
+			*stationsN, *rateKBs, *duration, len(seeds)),
+		"protocol", "client avg W", "±95% CI", "collisions", "frames delivered")
+	for _, a := range aggs {
+		w := metric(a, "avgW")
+		t.AddRow(a.Spec.Desc,
+			fmt.Sprintf("%.3f", w.Mean), fmt.Sprintf("%.3f", w.CI95),
+			fmt.Sprintf("%.1f", metric(a, "collisions").Mean),
+			fmt.Sprintf("%.1f", metric(a, "delivered").Mean))
+	}
 	fmt.Println(t)
+}
+
+// protocolSpecs builds one scenario spec per MAC protocol, closed over the
+// CLI's load parameters, so the generic Runner can sweep them.
+func protocolSpecs(n, chunk int, interval, dur sim.Time) []scenario.Spec {
+	return []scenario.Spec{
+		{Name: "cam", Desc: "CAM (DCF)", Tags: []string{"mac"}, Run: func(seed int64) scenario.Result {
+			w, coll, recv := runDCF(seed, n, chunk, interval, dur, false)
+			return macResult("cam", w, coll, recv)
+		}},
+		{Name: "psm", Desc: "802.11 PSM", Tags: []string{"mac"}, Run: func(seed int64) scenario.Result {
+			w, coll, recv := runDCF(seed, n, chunk, interval, dur, true)
+			return macResult("psm", w, coll, recv)
+		}},
+		{Name: "ecmac", Desc: "EC-MAC", Tags: []string{"mac"}, Run: func(seed int64) scenario.Result {
+			w, recv := runECMAC(seed, n, chunk, interval, dur)
+			return macResult("ecmac", w, 0, recv)
+		}},
+	}
+}
+
+func macResult(name string, w float64, coll, recv int) scenario.Result {
+	return scenario.Result{Name: name, Values: map[string]float64{
+		"avgW": w, "collisions": float64(coll), "delivered": float64(recv),
+	}}
+}
+
+// metric returns the named aggregated metric, or a zero Metric if the
+// experiment did not emit it.
+func metric(a scenario.AggResult, name string) scenario.Metric {
+	for _, m := range a.Metrics {
+		if m.Name == name {
+			return m
+		}
+	}
+	return scenario.Metric{Name: name}
 }
 
 func runDCF(seed int64, n, chunk int, interval, dur sim.Time, ps bool) (float64, int, int) {

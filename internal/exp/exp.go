@@ -6,19 +6,74 @@ package exp
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
 // Result bundles an experiment's rendered table with machine-readable
-// key figures used by tests and EXPERIMENTS.md assertions.
-type Result struct {
-	Name   string
-	Table  string
-	Values map[string]float64
+// key figures used by tests and EXPERIMENTS.md assertions. It is an alias
+// of scenario.Result, so every function below registers directly as a
+// scenario Spec run function.
+type Result = scenario.Result
+
+// Each file in this package contributes its experiments through a
+// *Catalogue() slice; init() merges them and registers everything in paper
+// order (figures, then E3–E17 numerically, then ablations), which is the
+// order `figgen -list` and the registry report.
+func init() {
+	var all []scenario.Spec
+	all = append(all, figureCatalogue()...)
+	all = append(all, surveyCatalogue()...)
+	all = append(all, hotspotCatalogue()...)
+	all = append(all, osCatalogue()...)
+	sort.SliceStable(all, func(i, j int) bool {
+		ri, ni := catalogueRank(all[i].Name)
+		rj, nj := catalogueRank(all[j].Name)
+		if ri != rj {
+			return ri < rj
+		}
+		if ni != nj {
+			return ni < nj
+		}
+		return all[i].Name < all[j].Name
+	})
+	for _, s := range all {
+		scenario.Register(s)
+	}
+}
+
+// catalogueRank orders experiment names the way the paper presents them:
+// figures first, then the numbered survey experiments, then ablations.
+func catalogueRank(name string) (class, num int) {
+	switch {
+	case strings.HasPrefix(name, "fig"):
+		n, _ := strconv.Atoi(name[3:])
+		return 0, n
+	case strings.HasPrefix(name, "e"):
+		if n, err := strconv.Atoi(name[1:]); err == nil {
+			return 1, n
+		}
+	}
+	return 2, 0
+}
+
+// figureCatalogue lists this file's experiments: the paper's two figures.
+func figureCatalogue() []scenario.Spec {
+	return []scenario.Spec{
+		{Name: "fig1", Desc: "Figure 1: sample schedule (transfers + power levels)",
+			Tags: []string{"figure", "hotspot"}, Run: Figure1},
+		{Name: "fig2", Desc: "Figure 2: average WNIC power, 3 MP3 clients",
+			Tags: []string{"figure", "hotspot"}, Run: func(seed int64) Result {
+				return Figure2(seed, 5*sim.Minute)
+			}},
+	}
 }
 
 // Figure1 reproduces the paper's Figure 1: a sample schedule for three

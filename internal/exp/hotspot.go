@@ -6,10 +6,32 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/qos"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
+
+// hotspotCatalogue lists this file's experiments: the transport-layer
+// comparison plus the Hotspot resource-manager scenarios and ablations.
+func hotspotCatalogue() []scenario.Spec {
+	return []scenario.Spec{
+		{Name: "e10", Desc: "E10: end-to-end vs split TCP",
+			Tags: []string{"survey", "transport"}, Run: E10SplitTCP},
+		{Name: "e13", Desc: "E13: EDF vs WFQ vs round-robin",
+			Tags: []string{"survey", "hotspot"}, Run: E13Schedulers},
+		{Name: "e14", Desc: "E14: burst-size sweep",
+			Tags: []string{"survey", "hotspot"}, Run: E14BurstSize},
+		{Name: "e15", Desc: "E15: seamless interface switching",
+			Tags: []string{"survey", "hotspot"}, Run: E15InterfaceSwitch},
+		{Name: "ablation-iface", Desc: "ablation: interface selection off",
+			Tags: []string{"ablation", "hotspot"}, Run: AblationInterfaceSelection},
+		{Name: "ablation-margin", Desc: "ablation: buffer margin",
+			Tags: []string{"ablation", "hotspot"}, Run: AblationMargin},
+		{Name: "ablation-burst", Desc: "ablation: burst aggregation",
+			Tags: []string{"ablation", "hotspot"}, Run: AblationBurstAggregation},
+	}
+}
 
 // E10SplitTCP compares end-to-end TCP against a split connection across a
 // lossy wireless hop — the paper's transport-layer mitigation ("splitting a

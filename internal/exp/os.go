@@ -7,9 +7,21 @@ import (
 
 	"repro/internal/dvs"
 	"repro/internal/route"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// osCatalogue lists this file's experiments: the OS/network-layer survey
+// topics (ad-hoc routing and CPU voltage scaling).
+func osCatalogue() []scenario.Spec {
+	return []scenario.Spec{
+		{Name: "e16", Desc: "E16: energy-efficient ad-hoc routing",
+			Tags: []string{"survey", "routing"}, Run: E16Routing},
+		{Name: "e17", Desc: "E17: CPU voltage scaling under EDF",
+			Tags: []string{"survey", "os"}, Run: E17DVS},
+	}
+}
 
 // E16Routing compares the energy-efficient ad-hoc routing disciplines the
 // paper's survey points to: min-hop, min-energy (MTPR), battery-aware

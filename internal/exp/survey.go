@@ -14,9 +14,35 @@ import (
 	"repro/internal/mac/psm"
 	"repro/internal/power"
 	"repro/internal/radio"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// surveyCatalogue lists this file's experiments: the Section 1 survey
+// claims about MAC, link and OS-level power management.
+func surveyCatalogue() []scenario.Spec {
+	return []scenario.Spec{
+		{Name: "e3", Desc: "E3: unmanaged WLAN listens ~90% of the time",
+			Tags: []string{"survey", "mac"}, Run: E3ListenFraction},
+		{Name: "e4", Desc: "E4: 802.11 PSM vs CAM across loads",
+			Tags: []string{"survey", "mac"}, Run: E4PSMvsCAM},
+		{Name: "e5", Desc: "E5: CAM vs PSM vs EC-MAC",
+			Tags: []string{"survey", "mac"}, Run: E5MACComparison},
+		{Name: "e6", Desc: "E6: MAC-layer aggregation sweep",
+			Tags: []string{"survey", "mac"}, Run: E6Aggregation},
+		{Name: "e7", Desc: "E7: PAMAS overhearing avoidance + battery sleep",
+			Tags: []string{"survey", "mac"}, Run: E7PAMAS},
+		{Name: "e8", Desc: "E8: ARQ vs FEC energy crossover",
+			Tags: []string{"survey", "link"}, Run: E8ARQvsFEC},
+		{Name: "e9", Desc: "E9: adaptive ARQ with channel prediction",
+			Tags: []string{"survey", "link"}, Run: E9AdaptiveARQ},
+		{Name: "e11", Desc: "E11: OS-level DPM policies",
+			Tags: []string{"survey", "os"}, Run: E11DPM},
+		{Name: "e12", Desc: "E12: proxy content adaptation",
+			Tags: []string{"survey", "app"}, Run: E12ProxyAdaptation},
+	}
+}
 
 // E3ListenFraction verifies the paper's motivating claim: "WLANs spend as
 // much as 90% of their time listening", so transmit-power control alone

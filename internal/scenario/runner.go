@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Metric is one aggregated key figure: the across-seed mean of a Values
+// entry with the half-width of its 95% confidence interval and the
+// observed range.
+type Metric struct {
+	Name     string
+	Mean     float64
+	CI95     float64
+	Min, Max float64
+	N        int
+}
+
+// AggResult is the multi-seed outcome of one experiment: the per-seed
+// results in seed order plus the across-seed aggregate of every metric.
+type AggResult struct {
+	Spec    Spec
+	Seeds   []int64
+	PerSeed []Result // PerSeed[i] is the run with Seeds[i]
+	Metrics []Metric // sorted by metric name
+}
+
+// Table renders the aggregate as a plain-text table in the same style as
+// the single-seed experiment tables.
+func (a AggResult) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("%s — %s (%d seeds, mean ± 95%% CI)", a.Spec.Name, a.Spec.Desc, len(a.Seeds)),
+		"metric", "mean", "±95% CI", "min", "max")
+	for _, m := range a.Metrics {
+		t.AddRow(m.Name, fmt.Sprintf("%.6g", m.Mean), fmt.Sprintf("%.3g", m.CI95),
+			fmt.Sprintf("%.6g", m.Min), fmt.Sprintf("%.6g", m.Max))
+	}
+	return t.String()
+}
+
+// Runner executes (experiment × seed) jobs on a bounded worker pool.
+// Parallel is the pool size (values < 1 mean 1). Results are merged in
+// (spec, seed) order no matter how workers interleave, so Parallel only
+// affects wall-clock time, never output.
+type Runner struct {
+	Parallel int
+}
+
+// Seeds returns the canonical seed set used by the CLIs: n consecutive
+// seeds starting at base.
+func Seeds(base int64, n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// Run executes every spec with every seed and aggregates each experiment's
+// metrics across seeds. The returned slice is ordered like specs; each
+// AggResult's PerSeed is ordered like seeds.
+func (r *Runner) Run(specs []Spec, seeds []int64) []AggResult {
+	workers := r.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+
+	type job struct{ si, ki int }
+	jobs := make(chan job)
+	perSeed := make([][]Result, len(specs))
+	for i := range perSeed {
+		perSeed[i] = make([]Result, len(seeds))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				perSeed[j.si][j.ki] = specs[j.si].Run(seeds[j.ki])
+			}
+		}()
+	}
+	for si := range specs {
+		for ki := range seeds {
+			jobs <- job{si, ki}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := make([]AggResult, len(specs))
+	for si, spec := range specs {
+		out[si] = aggregate(spec, seeds, perSeed[si])
+	}
+	return out
+}
+
+// aggregate folds seed-ordered per-seed results into per-metric summaries.
+// The metric set is the union across seeds (an experiment may emit a
+// metric only in some regimes), iterated in sorted order so the output is
+// deterministic.
+func aggregate(spec Spec, seeds []int64, results []Result) AggResult {
+	keys := map[string]bool{}
+	for _, res := range results {
+		for k := range res.Values {
+			keys[k] = true
+		}
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	metrics := make([]Metric, 0, len(names))
+	for _, name := range names {
+		var s stats.Summary
+		for _, res := range results {
+			if v, ok := res.Values[name]; ok {
+				s.Add(v)
+			}
+		}
+		metrics = append(metrics, Metric{
+			Name: name,
+			Mean: s.Mean(),
+			CI95: s.CI95(),
+			Min:  s.Min(),
+			Max:  s.Max(),
+			N:    int(s.N()),
+		})
+	}
+	return AggResult{
+		Spec:    spec,
+		Seeds:   append([]int64(nil), seeds...),
+		PerSeed: results,
+		Metrics: metrics,
+	}
+}

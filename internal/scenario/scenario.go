@@ -1,0 +1,43 @@
+// Package scenario is the registry-driven experiment engine behind every
+// frontend in this repository. Each experiment package registers its
+// runnable scenarios as Specs (name, description, tags, and a seeded run
+// function); cmd/figgen, cmd/macbench, cmd/hotspotsim and the benchmark
+// harness all draw from the same registry, so an experiment is declared in
+// exactly one place.
+//
+// The Runner executes (experiment × seed) jobs on a bounded worker pool and
+// aggregates per-experiment metrics across seeds into mean ± 95% confidence
+// intervals. Aggregation merges per-seed results in seed order regardless
+// of worker interleaving, so changing the parallelism changes only the wall
+// clock, never the numbers.
+package scenario
+
+// Result bundles an experiment's rendered table with machine-readable key
+// figures. It is the canonical result type for the whole experiment layer;
+// internal/exp aliases it so existing experiment functions register
+// directly as Spec run functions.
+type Result struct {
+	Name   string
+	Table  string
+	Values map[string]float64
+}
+
+// Spec describes one registered experiment: a stable name (the CLI
+// identifier), a one-line description, classification tags used for
+// filtering, and the seeded run function that produces its Result.
+type Spec struct {
+	Name string
+	Desc string
+	Tags []string
+	Run  func(seed int64) Result
+}
+
+// HasTag reports whether the spec carries the given tag.
+func (s Spec) HasTag(tag string) bool {
+	for _, t := range s.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
