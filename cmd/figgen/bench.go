@@ -1,0 +1,125 @@
+package main
+
+// The -benchjson emitter: runs the internal/sim kernel benchmark suite via
+// testing.Benchmark and upserts a labelled entry into a JSON trajectory
+// file (conventionally BENCH_kernel.json at the repository root). Each PR
+// that touches the kernel appends its before/after numbers under fresh
+// labels, so the perf trajectory is machine-readable from PR 2 onward.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// benchFile is the whole trajectory document.
+type benchFile struct {
+	Suite   string       `json:"suite"`
+	Entries []benchEntry `json:"entries"`
+}
+
+// benchEntry is one labelled run of the suite.
+type benchEntry struct {
+	Label      string        `json:"label"`
+	Go         string        `json:"go"`
+	Date       string        `json:"date"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchResult is one benchmark's outcome in go-test units.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	N           int     `json:"n"`
+}
+
+// runBenchJSON executes the kernel suite, merges the results into the
+// trajectory file at path under the given label (replacing any existing
+// entry with the same label), and prints a summary table to w.
+func runBenchJSON(w io.Writer, path, label string) error {
+	var results []benchResult
+	for _, k := range sim.KernelBenchmarks() {
+		k := k
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			k.Run(b.N)
+		})
+		results = append(results, benchResult{
+			Name:        k.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			N:           r.N,
+		})
+	}
+
+	doc, err := loadBenchFile(path)
+	if err != nil {
+		return err
+	}
+	entry := benchEntry{
+		Label:      label,
+		Go:         runtime.Version(),
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Benchmarks: results,
+	}
+	replaced := false
+	for i := range doc.Entries {
+		if doc.Entries[i].Label == label {
+			doc.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		doc.Entries = append(doc.Entries, entry)
+	}
+	if err := writeBenchFile(path, doc); err != nil {
+		return err
+	}
+
+	t := stats.NewTable(fmt.Sprintf("sim kernel benchmarks — %s", label),
+		"benchmark", "ns/op", "B/op", "allocs/op", "iters")
+	for _, r := range results {
+		t.AddRow(r.Name, fmt.Sprintf("%.1f", r.NsPerOp),
+			fmt.Sprintf("%d", r.BytesPerOp), fmt.Sprintf("%d", r.AllocsPerOp),
+			fmt.Sprintf("%d", r.N))
+	}
+	fmt.Fprintln(w, t)
+	fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(doc.Entries))
+	return nil
+}
+
+// loadBenchFile reads an existing trajectory file, or starts a fresh one if
+// the path does not exist yet.
+func loadBenchFile(path string) (benchFile, error) {
+	doc := benchFile{Suite: "sim-kernel"}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return doc, nil
+	}
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+func writeBenchFile(path string, doc benchFile) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

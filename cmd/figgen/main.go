@@ -8,13 +8,19 @@
 // Usage:
 //
 //	figgen [-seed N] [-seeds N] [-parallel N] [-run REGEX] [-tags T1,T2]
-//	       [-json] [-list] [experiment ...]
+//	       [-json] [-list] [-benchjson FILE [-benchlabel L]] [experiment ...]
 //
 // With no selection flags every experiment runs in order. All (experiment
-// × seed) jobs run on a -parallel-bounded worker pool; the output is
-// identical for every -parallel value, only the wall clock changes. With
-// -seeds N > 1 each selected experiment runs on N consecutive seeds (base
-// -seed) and figgen reports each metric's mean ± 95% confidence interval.
+// × seed) jobs run on a worker pool sized by -parallel, which defaults to
+// runtime.NumCPU(); pass -parallel N to override (e.g. -parallel 1 on a
+// shared machine). The output is identical for every -parallel value, only
+// the wall clock changes. With -seeds N > 1 each selected experiment runs
+// on N consecutive seeds (base -seed) and figgen reports each metric's
+// mean ± 95% confidence interval.
+//
+// -benchjson FILE runs the internal/sim kernel benchmark suite instead of
+// any experiments and upserts the results into FILE under -benchlabel (see
+// EXPERIMENTS.md, "Kernel benchmarks").
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	_ "repro/internal/exp" // register the experiment catalogue
@@ -30,25 +37,29 @@ import (
 )
 
 type options struct {
-	seed     int64
-	seeds    int
-	parallel int
-	pattern  string
-	tags     string
-	jsonOut  bool
-	list     bool
-	names    []string
+	seed       int64
+	seeds      int
+	parallel   int
+	pattern    string
+	tags       string
+	jsonOut    bool
+	list       bool
+	benchJSON  string
+	benchLabel string
+	names      []string
 }
 
 func main() {
 	var o options
 	flag.Int64Var(&o.seed, "seed", 1, "base simulation seed")
 	flag.IntVar(&o.seeds, "seeds", 1, "number of consecutive seeds per experiment")
-	flag.IntVar(&o.parallel, "parallel", 1, "worker pool size for (experiment × seed) jobs")
+	flag.IntVar(&o.parallel, "parallel", runtime.NumCPU(), "worker pool size for (experiment × seed) jobs")
 	flag.StringVar(&o.pattern, "run", "", "run only experiments whose name matches this anchored regexp")
 	flag.StringVar(&o.tags, "tags", "", "run only experiments carrying one of these comma-separated tags")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON instead of tables")
 	flag.BoolVar(&o.list, "list", false, "list experiments and exit")
+	flag.StringVar(&o.benchJSON, "benchjson", "", "run the sim kernel benchmarks and upsert results into this JSON file")
+	flag.StringVar(&o.benchLabel, "benchlabel", "dev", "label for the -benchjson trajectory entry")
 	flag.Parse()
 	o.names = flag.Args()
 
@@ -64,6 +75,14 @@ func run(w io.Writer, o options) error {
 		list(w)
 		return nil
 	}
+	if o.benchJSON != "" {
+		// Benchmark mode runs no experiments; a selection alongside it is
+		// a confused command line, not something to silently ignore.
+		if o.pattern != "" || o.tags != "" || len(o.names) > 0 {
+			return fmt.Errorf("-benchjson runs kernel benchmarks only; drop the experiment selection (-run/-tags/names)")
+		}
+		return runBenchJSON(w, o.benchJSON, o.benchLabel)
+	}
 	specs, err := selectSpecs(o)
 	if err != nil {
 		return err
@@ -73,9 +92,10 @@ func run(w io.Writer, o options) error {
 	}
 	// Every run goes through the Runner so -parallel fans (experiment ×
 	// seed) jobs even at -seeds 1; single-seed output renders the classic
-	// per-experiment tables from the lone per-seed result.
+	// per-experiment tables from the lone per-seed result, so only that
+	// case asks the (otherwise streaming) Runner to retain raw Results.
 	seeds := scenario.Seeds(o.seed, o.seeds)
-	runner := &scenario.Runner{Parallel: o.parallel}
+	runner := &scenario.Runner{Parallel: o.parallel, KeepPerSeed: len(seeds) == 1}
 	aggs := runner.Run(specs, seeds)
 	if o.jsonOut {
 		docs := make([]jsonExperiment, 0, len(aggs))

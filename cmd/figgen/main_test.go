@@ -164,3 +164,11 @@ func TestSingleSeedHonorsParallel(t *testing.T) {
 		t.Error("missing classic per-experiment table")
 	}
 }
+
+func TestBenchJSONRejectsExperimentSelection(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, options{benchJSON: "/tmp/should-not-exist.json", names: []string{"e10"}})
+	if err == nil || !strings.Contains(err.Error(), "benchjson") {
+		t.Fatalf("-benchjson with experiment selection should error, got %v", err)
+	}
+}

@@ -3,7 +3,8 @@
 // seed prints the detailed per-client power/QoS report (and optionally the
 // schedule); with -seeds N > 1 the scenario runs on the scenario engine's
 // Runner across N consecutive seeds and reports each metric as mean ±
-// 95% CI.
+// 95% CI. The pool size defaults to runtime.NumCPU(); override with
+// -parallel N (the output is identical for any pool size).
 //
 // Example:
 //
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/channel"
 	"repro/internal/core"
@@ -28,7 +30,7 @@ func main() {
 		duration  = flag.Float64("duration", 120, "simulated seconds")
 		seed      = flag.Int64("seed", 1, "base simulation seed")
 		seedsN    = flag.Int("seeds", 1, "number of consecutive seeds")
-		parallel  = flag.Int("parallel", 1, "worker pool size for multi-seed runs")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker pool size for multi-seed runs")
 		schedName = flag.String("scheduler", "edf", "scheduler: edf | wfq | rr")
 		polName   = flag.String("policy", "adaptive", "interface policy: adaptive | wlan | bt")
 		epoch     = flag.Float64("epoch", 10, "scheduling epoch (burst period) in seconds")

@@ -2,7 +2,8 @@
 // paper's Section 1 survey — CAM (plain DCF), 802.11 PSM and EC-MAC — on a
 // configurable downlink load. The sweep runs on the scenario engine's
 // Runner: with -seeds N each protocol is measured across N consecutive
-// seeds on a -parallel-bounded worker pool and reported as mean ± 95% CI.
+// seeds on a worker pool sized by -parallel (default runtime.NumCPU();
+// results are identical for any pool size) and reported as mean ± 95% CI.
 //
 // Example:
 //
@@ -12,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"runtime"
 
 	"repro/internal/frame"
 	"repro/internal/mac/dcf"
@@ -30,7 +32,7 @@ func main() {
 		duration  = flag.Float64("duration", 30, "simulated seconds")
 		seed      = flag.Int64("seed", 1, "base simulation seed")
 		seedsN    = flag.Int("seeds", 1, "number of consecutive seeds per protocol")
-		parallel  = flag.Int("parallel", 1, "worker pool size for (protocol × seed) jobs")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker pool size for (protocol × seed) jobs")
 	)
 	flag.Parse()
 

@@ -86,7 +86,7 @@ type GilbertElliott struct {
 	lastAt   sim.Time
 
 	frozen bool // when scripted control takes over, stop autonomous flips
-	flip   *sim.Event
+	flip   sim.Handle
 }
 
 // NewGilbertElliott creates the channel in the Good state and schedules its
@@ -144,10 +144,8 @@ func (c *GilbertElliott) SampleBitErrors(bytes int) int {
 // can control the state explicitly with ForceState.
 func (c *GilbertElliott) Freeze() {
 	c.frozen = true
-	if c.flip != nil {
-		c.sim.Cancel(c.flip)
-		c.flip = nil
-	}
+	c.sim.Cancel(c.flip)
+	c.flip = sim.Handle{}
 }
 
 // ForceState sets the channel state directly (for scripted scenarios such as

@@ -200,7 +200,7 @@ type engine struct {
 	running  *job
 	runFreq  float64
 	runStart sim.Time
-	runEvent *sim.Event
+	runEvent sim.Handle
 	lastAt   sim.Time
 
 	utilWCET float64
@@ -273,9 +273,9 @@ func (e *engine) frequency() float64 {
 func (e *engine) reschedule() {
 	e.settle()
 	// Preempt the running job, deducting the cycles it completed.
-	if e.running != nil && e.runEvent != nil {
+	if e.running != nil && e.runEvent.Pending() {
 		e.s.Cancel(e.runEvent)
-		e.runEvent = nil
+		e.runEvent = sim.Handle{}
 		elapsed := (e.s.Now() - e.runStart).Seconds()
 		e.running.remaining -= elapsed * e.runFreq
 		if e.running.remaining < 0 {
@@ -298,7 +298,7 @@ func (e *engine) reschedule() {
 		dur = sim.Microsecond
 	}
 	e.runEvent = e.s.Schedule(dur, func() {
-		e.runEvent = nil
+		e.runEvent = sim.Handle{}
 		e.complete(j)
 	})
 }

@@ -1,0 +1,71 @@
+package exp_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	_ "repro/internal/exp" // register the experiment catalogue
+	"repro/internal/scenario"
+)
+
+// goldenDoc mirrors the fields of figgen's -json output that the golden
+// comparison needs; testdata/golden_seed1.json was generated with
+//
+//	go run ./cmd/figgen -json -seed 1
+//
+// on the pre-pool event kernel (PR 1 + the deterministic station-notification
+// order in dcf.Medium). The kernel rewrite — slab pooling, lazy cancellation,
+// closure-free timers — must be invisible to every experiment: same seed,
+// bit-identical values.
+type goldenDoc struct {
+	Experiment string             `json:"experiment"`
+	Values     map[string]float64 `json:"values"`
+}
+
+func TestGoldenSeed1BitIdentical(t *testing.T) {
+	data, err := os.ReadFile("testdata/golden_seed1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []goldenDoc
+	if err := json.Unmarshal(data, &docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("golden file is empty")
+	}
+
+	covered := map[string]bool{}
+	for _, doc := range docs {
+		spec, ok := scenario.Lookup(doc.Experiment)
+		if !ok {
+			t.Errorf("golden experiment %q no longer registered", doc.Experiment)
+			continue
+		}
+		covered[doc.Experiment] = true
+		res := spec.Run(1)
+		if len(res.Values) != len(doc.Values) {
+			t.Errorf("%s: %d values, golden has %d", doc.Experiment, len(res.Values), len(doc.Values))
+		}
+		for k, want := range doc.Values {
+			got, ok := res.Values[k]
+			if !ok {
+				t.Errorf("%s: value %q missing", doc.Experiment, k)
+				continue
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%s: %s = %v (bits %#x), golden %v (bits %#x)",
+					doc.Experiment, k, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+	// Every registered experiment must be pinned: a new experiment means the
+	// golden file needs regenerating (and reviewing) alongside it.
+	for _, s := range scenario.All() {
+		if !covered[s.Name] {
+			t.Errorf("experiment %q not covered by golden file; regenerate testdata/golden_seed1.json", s.Name)
+		}
+	}
+}

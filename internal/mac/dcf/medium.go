@@ -88,6 +88,7 @@ type Medium struct {
 	cfg    Config
 	ch     *channel.GilbertElliott // may be nil for an error-free medium
 	nodes  map[int]*Station
+	order  []*Station // attach order: deterministic notification sequence
 	active []*transmission
 	stats  Stats
 
@@ -119,6 +120,7 @@ func (m *Medium) attach(st *Station) {
 		panic(fmt.Sprintf("dcf: duplicate station id %d", st.id))
 	}
 	m.nodes[st.id] = st
+	m.order = append(m.order, st)
 }
 
 // Station returns the attached station with the given id, or nil.
@@ -142,7 +144,10 @@ func (m *Medium) begin(st *Station, f *frame.Frame) {
 	m.active = append(m.active, tx)
 	m.stats.Transmissions++
 	if wasIdle {
-		for _, n := range m.nodes {
+		// Attach order, not map order: busy/idle notifications reach
+		// stations in a fixed sequence, so shared-RNG draws (e.g. backoff
+		// sampling in startContention) consume the stream deterministically.
+		for _, n := range m.order {
 			if n != st {
 				n.mediumBusy()
 			}
@@ -182,7 +187,7 @@ func (m *Medium) finish(tx *transmission) {
 	tx.from.txDone(tx.f, delivered)
 
 	if nowIdle {
-		for _, n := range m.nodes {
+		for _, n := range m.order {
 			n.mediumIdle()
 		}
 	}
@@ -190,7 +195,7 @@ func (m *Medium) finish(tx *transmission) {
 
 func (m *Medium) deliver(tx *transmission) {
 	if tx.f.To == frame.Broadcast {
-		for _, n := range m.nodes {
+		for _, n := range m.order {
 			if n != tx.from && n.Awake() {
 				n.receive(tx.f)
 			}

@@ -39,8 +39,8 @@ type Station struct {
 	slots     int // remaining backoff slots
 	haveBO    bool
 
-	difsEvent *sim.Event
-	slotEvent *sim.Event
+	difsEvent sim.Handle
+	slotEvent sim.Handle
 	ackTimer  *sim.Timer
 
 	lastSeq      map[int]int // per-sender dedup of MAC retransmissions
@@ -159,7 +159,7 @@ func (st *Station) CanDoze() bool {
 // --- CSMA/CA engine ---
 
 func (st *Station) startContention() {
-	if st.difsEvent != nil || st.slotEvent != nil || st.inTx {
+	if st.difsEvent.Pending() || st.slotEvent.Pending() || st.inTx {
 		return
 	}
 	if !st.haveBO {
@@ -170,7 +170,7 @@ func (st *Station) startContention() {
 		return // mediumIdle() will restart us
 	}
 	st.difsEvent = st.sim.Schedule(st.cfg.DIFS, func() {
-		st.difsEvent = nil
+		st.difsEvent = sim.Handle{}
 		st.countDown()
 	})
 }
@@ -181,7 +181,7 @@ func (st *Station) countDown() {
 		return
 	}
 	st.slotEvent = st.sim.Schedule(st.cfg.SlotTime, func() {
-		st.slotEvent = nil
+		st.slotEvent = sim.Handle{}
 		st.slots--
 		if st.slots == 0 {
 			// Reached zero in this slot: transmit even if another station
@@ -200,14 +200,10 @@ func (st *Station) countDown() {
 // cancelContention hard-cancels all pending contention events (used when the
 // station leaves the listening state entirely, e.g. dozing or transmitting).
 func (st *Station) cancelContention() {
-	if st.difsEvent != nil {
-		st.sim.Cancel(st.difsEvent)
-		st.difsEvent = nil
-	}
-	if st.slotEvent != nil {
-		st.sim.Cancel(st.slotEvent)
-		st.slotEvent = nil
-	}
+	st.sim.Cancel(st.difsEvent)
+	st.difsEvent = sim.Handle{}
+	st.sim.Cancel(st.slotEvent)
+	st.slotEvent = sim.Handle{}
 }
 
 // freezeContention cancels only strictly-future contention events. Events
@@ -215,13 +211,13 @@ func (st *Station) cancelContention() {
 // whose backoff expires in the same slot collide, as in real DCF.
 func (st *Station) freezeContention() {
 	now := st.sim.Now()
-	if st.difsEvent != nil && st.difsEvent.At() > now {
+	if st.difsEvent.Pending() && st.difsEvent.At() > now {
 		st.sim.Cancel(st.difsEvent)
-		st.difsEvent = nil
+		st.difsEvent = sim.Handle{}
 	}
-	if st.slotEvent != nil && st.slotEvent.At() > now {
+	if st.slotEvent.Pending() && st.slotEvent.At() > now {
 		st.sim.Cancel(st.slotEvent)
-		st.slotEvent = nil
+		st.slotEvent = sim.Handle{}
 	}
 }
 

@@ -57,7 +57,7 @@ type PlayoutBuffer struct {
 	lastAt     sim.Time
 	playing    bool
 	started    bool // playback has begun at least once
-	emptyEvent *sim.Event
+	emptyEvent sim.Handle
 
 	underruns  int
 	stallStart sim.Time
@@ -160,16 +160,14 @@ func (b *PlayoutBuffer) Fill(bytes int) {
 
 // rearmEmptyWatchdog schedules detection of the exact dry-out instant.
 func (b *PlayoutBuffer) rearmEmptyWatchdog() {
-	if b.emptyEvent != nil {
-		b.sim.Cancel(b.emptyEvent)
-		b.emptyEvent = nil
-	}
+	b.sim.Cancel(b.emptyEvent)
+	b.emptyEvent = sim.Handle{}
 	if !b.playing {
 		return
 	}
 	dry := sim.FromSeconds(b.level / b.spec.BytesPerSecond())
 	b.emptyEvent = b.sim.Schedule(dry, func() {
-		b.emptyEvent = nil
+		b.emptyEvent = sim.Handle{}
 		b.settle()
 		if b.playing && b.level <= 1e-9 {
 			b.playing = false

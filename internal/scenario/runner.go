@@ -19,12 +19,13 @@ type Metric struct {
 	N        int
 }
 
-// AggResult is the multi-seed outcome of one experiment: the per-seed
-// results in seed order plus the across-seed aggregate of every metric.
+// AggResult is the multi-seed outcome of one experiment: the across-seed
+// aggregate of every metric, plus the per-seed results when the Runner was
+// asked to keep them.
 type AggResult struct {
 	Spec    Spec
 	Seeds   []int64
-	PerSeed []Result // PerSeed[i] is the run with Seeds[i]
+	PerSeed []Result // seed-ordered; nil unless Runner.KeepPerSeed is set
 	Metrics []Metric // sorted by metric name
 }
 
@@ -42,11 +43,19 @@ func (a AggResult) Table() string {
 }
 
 // Runner executes (experiment × seed) jobs on a bounded worker pool.
-// Parallel is the pool size (values < 1 mean 1). Results are merged in
-// (spec, seed) order no matter how workers interleave, so Parallel only
-// affects wall-clock time, never output.
+// Parallel is the pool size (values < 1 mean 1).
+//
+// Per-seed results are streamed into per-metric stats.Summary accumulators
+// the moment their seed-ordered turn comes up, then dropped — a sweep over
+// thousands of seeds holds only the out-of-order completions, not every
+// Result. Because each metric's accumulator always folds seeds in order,
+// Parallel only affects wall-clock time, never a single output bit. Set
+// KeepPerSeed to additionally retain the raw per-seed Results (the
+// single-seed table/JSON frontends need the lone Result; aggregate-only
+// callers should leave it off).
 type Runner struct {
-	Parallel int
+	Parallel    int
+	KeepPerSeed bool
 }
 
 // Seeds returns the canonical seed set used by the CLIs: n consecutive
@@ -62,29 +71,73 @@ func Seeds(base int64, n int) []int64 {
 	return out
 }
 
+// specAcc accumulates one experiment's results in seed order. pending
+// buffers completions that arrived ahead of their turn; next is the seed
+// index the accumulators are waiting for.
+type specAcc struct {
+	next    int
+	pending map[int]Result
+	sums    map[string]*stats.Summary
+	perSeed []Result // only when KeepPerSeed
+}
+
+// fold streams one seed's values into the per-metric accumulators. Each
+// metric's Add sequence is ordered by seed (fold is only called in seed
+// order), which is exactly the fold order the pre-streaming aggregate used —
+// the Welford state, and therefore every reported digit, is bit-identical.
+func (a *specAcc) fold(res Result) {
+	for k, v := range res.Values {
+		s := a.sums[k]
+		if s == nil {
+			s = &stats.Summary{}
+			a.sums[k] = s
+		}
+		s.Add(v)
+	}
+}
+
 // Run executes every spec with every seed and aggregates each experiment's
-// metrics across seeds. The returned slice is ordered like specs; each
-// AggResult's PerSeed is ordered like seeds.
+// metrics across seeds. The returned slice is ordered like specs.
 func (r *Runner) Run(specs []Spec, seeds []int64) []AggResult {
 	workers := r.Parallel
 	if workers < 1 {
 		workers = 1
 	}
 
-	type job struct{ si, ki int }
-	jobs := make(chan job)
-	perSeed := make([][]Result, len(specs))
-	for i := range perSeed {
-		perSeed[i] = make([]Result, len(seeds))
+	accs := make([]specAcc, len(specs))
+	for i := range accs {
+		accs[i] = specAcc{pending: make(map[int]Result), sums: make(map[string]*stats.Summary)}
+		if r.KeepPerSeed {
+			accs[i].perSeed = make([]Result, len(seeds))
+		}
 	}
 
+	type job struct{ si, ki int }
+	jobs := make(chan job)
+	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				perSeed[j.si][j.ki] = specs[j.si].Run(seeds[j.ki])
+				res := specs[j.si].Run(seeds[j.ki])
+				mu.Lock()
+				a := &accs[j.si]
+				if a.perSeed != nil {
+					a.perSeed[j.ki] = res
+				}
+				a.pending[j.ki] = res
+				for {
+					next, ok := a.pending[a.next]
+					if !ok {
+						break
+					}
+					delete(a.pending, a.next)
+					a.fold(next)
+					a.next++
+				}
+				mu.Unlock()
 			}
 		}()
 	}
@@ -98,37 +151,29 @@ func (r *Runner) Run(specs []Spec, seeds []int64) []AggResult {
 
 	out := make([]AggResult, len(specs))
 	for si, spec := range specs {
-		out[si] = aggregate(spec, seeds, perSeed[si])
+		out[si] = AggResult{
+			Spec:    spec,
+			Seeds:   append([]int64(nil), seeds...),
+			PerSeed: accs[si].perSeed,
+			Metrics: metrics(accs[si].sums),
+		}
 	}
 	return out
 }
 
-// aggregate folds seed-ordered per-seed results into per-metric summaries.
-// The metric set is the union across seeds (an experiment may emit a
-// metric only in some regimes), iterated in sorted order so the output is
-// deterministic.
-func aggregate(spec Spec, seeds []int64, results []Result) AggResult {
-	keys := map[string]bool{}
-	for _, res := range results {
-		for k := range res.Values {
-			keys[k] = true
-		}
-	}
-	names := make([]string, 0, len(keys))
-	for k := range keys {
+// metrics flattens the per-metric accumulators into name-sorted summaries.
+// The metric set is the union across seeds (an experiment may emit a metric
+// only in some regimes).
+func metrics(sums map[string]*stats.Summary) []Metric {
+	names := make([]string, 0, len(sums))
+	for k := range sums {
 		names = append(names, k)
 	}
 	sort.Strings(names)
-
-	metrics := make([]Metric, 0, len(names))
+	out := make([]Metric, 0, len(names))
 	for _, name := range names {
-		var s stats.Summary
-		for _, res := range results {
-			if v, ok := res.Values[name]; ok {
-				s.Add(v)
-			}
-		}
-		metrics = append(metrics, Metric{
+		s := sums[name]
+		out = append(out, Metric{
 			Name: name,
 			Mean: s.Mean(),
 			CI95: s.CI95(),
@@ -137,10 +182,5 @@ func aggregate(spec Spec, seeds []int64, results []Result) AggResult {
 			N:    int(s.N()),
 		})
 	}
-	return AggResult{
-		Spec:    spec,
-		Seeds:   append([]int64(nil), seeds...),
-		PerSeed: results,
-		Metrics: metrics,
-	}
+	return out
 }

@@ -80,7 +80,7 @@ func TestRunnerAggregatesAcrossSeeds(t *testing.T) {
 	var calls atomic.Int64
 	spec := syntheticSpec("test-agg", &calls)
 	seeds := []int64{1, 2, 3, 4, 5}
-	r := &Runner{Parallel: 2}
+	r := &Runner{Parallel: 2, KeepPerSeed: true}
 	aggs := r.Run([]Spec{spec}, seeds)
 	if len(aggs) != 1 {
 		t.Fatalf("got %d aggregates", len(aggs))
@@ -153,6 +153,26 @@ func aggEqual(a, b []AggResult) bool {
 		}
 	}
 	return true
+}
+
+// TestRunnerStreamsByDefault pins the streaming contract: without
+// KeepPerSeed the Runner folds results into accumulators and retains no
+// per-seed Results, and the aggregate it reports is bit-identical to the
+// retaining mode's.
+func TestRunnerStreamsByDefault(t *testing.T) {
+	spec := syntheticSpec("test-stream", nil)
+	seeds := Seeds(1, 16)
+	lean := (&Runner{Parallel: 4}).Run([]Spec{spec}, seeds)[0]
+	if lean.PerSeed != nil {
+		t.Errorf("streaming Runner retained %d per-seed results", len(lean.PerSeed))
+	}
+	full := (&Runner{Parallel: 4, KeepPerSeed: true}).Run([]Spec{spec}, seeds)[0]
+	if len(full.PerSeed) != len(seeds) {
+		t.Errorf("KeepPerSeed retained %d results, want %d", len(full.PerSeed), len(seeds))
+	}
+	if !reflect.DeepEqual(lean.Metrics, full.Metrics) {
+		t.Errorf("streaming changed the aggregate:\n%+v\n%+v", lean.Metrics, full.Metrics)
+	}
 }
 
 func TestSeeds(t *testing.T) {

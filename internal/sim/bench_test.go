@@ -1,0 +1,15 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernel runs the shared kernel workloads (see benchmarks.go) as
+// standard sub-benchmarks; figgen -benchjson times the same functions when
+// writing BENCH_kernel.json.
+func BenchmarkKernel(b *testing.B) {
+	for _, k := range KernelBenchmarks() {
+		b.Run(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			k.Run(b.N)
+		})
+	}
+}

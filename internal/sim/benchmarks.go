@@ -1,0 +1,118 @@
+package sim
+
+// Kernel microbenchmark workloads, shared between the go-test benchmarks in
+// bench_test.go and figgen's -benchjson emitter so the numbers committed to
+// BENCH_kernel.json come from exactly the code paths `go test -bench` times.
+//
+// Each workload performs n operations of its steady-state pattern against a
+// fresh Simulator, with all closures hoisted out of the hot loop: what is
+// being measured is the kernel's schedule/fire/cancel machinery, not
+// caller-side allocation.
+
+// KernelBenchmark is one microbenchmark of the event kernel.
+type KernelBenchmark struct {
+	Name string
+	Doc  string
+	Run  func(n int) // executes n operations of the workload
+}
+
+// KernelBenchmarks returns the kernel benchmark suite in a fixed order.
+func KernelBenchmarks() []KernelBenchmark {
+	return []KernelBenchmark{
+		{
+			Name: "ScheduleFire",
+			Doc:  "one event in flight: each op schedules one event and fires it",
+			Run:  benchScheduleFire,
+		},
+		{
+			Name: "ResetStorm",
+			Doc:  "timer rearmed far more often than it fires (ARQ/µNap pattern)",
+			Run:  benchResetStorm,
+		},
+		{
+			Name: "CancelHeavy",
+			Doc:  "batches of events where half are cancelled before they fire",
+			Run:  benchCancelHeavy,
+		},
+		{
+			Name: "MixedMAC",
+			Doc:  "MAC-like mix: one-shot frames, a beacon ticker, a rearmed ARQ timer",
+			Run:  benchMixedMAC,
+		},
+	}
+}
+
+// benchScheduleFire keeps exactly one event in flight: the callback
+// schedules its successor, so every iteration is one schedule plus one fire.
+func benchScheduleFire(n int) {
+	s := New(1)
+	fired := 0
+	var fn func()
+	fn = func() {
+		fired++
+		if fired < n {
+			s.Schedule(Microsecond, fn)
+		}
+	}
+	s.Schedule(Microsecond, fn)
+	s.Run()
+}
+
+// benchResetStorm rearms a single timer on every operation, advancing the
+// clock just often enough that the deadline keeps receding and the timer
+// almost never fires — the arm/cancel-dominated pattern of retransmission
+// timers and micro-sleep policies.
+func benchResetStorm(n int) {
+	s := New(1)
+	t := NewTimer(s, func() {})
+	for i := 0; i < n; i++ {
+		t.Reset(10 * Microsecond)
+		if i%8 == 7 {
+			s.RunUntil(s.Now() + Microsecond)
+		}
+	}
+	t.Stop()
+	s.Run()
+}
+
+// benchCancelHeavy schedules events in batches and cancels every other one
+// before draining the rest, stressing the cancellation path and the
+// dead-entry handling of the queue.
+func benchCancelHeavy(n int) {
+	s := New(1)
+	nop := func() {}
+	const batch = 64
+	handles := make([]Handle, batch)
+	for ops := 0; ops < n; ops += batch {
+		for i := range handles {
+			handles[i] = s.Schedule(Time(i+1)*Microsecond, nop)
+		}
+		for i := 0; i < batch; i += 2 {
+			s.Cancel(handles[i])
+		}
+		s.RunUntil(s.Now() + Time(batch+1)*Microsecond)
+	}
+}
+
+// benchMixedMAC approximates a station's event mix: a chain of one-shot
+// frame events, a periodic beacon ticker and an ARQ timer that is rearmed on
+// every frame and essentially never expires.
+func benchMixedMAC(n int) {
+	s := New(1)
+	beacons := 0
+	retx := NewTimer(s, func() {})
+	NewTicker(s, 100*Microsecond, func() { beacons++ })
+	delivered := 0
+	var onTx func()
+	onTx = func() {
+		delivered++
+		retx.Reset(30 * Microsecond)
+		if delivered < n {
+			s.Schedule(Time(delivered%7+1)*Microsecond, onTx)
+		} else {
+			s.Stop()
+		}
+	}
+	s.Schedule(Microsecond, onTx)
+	s.Run()
+}

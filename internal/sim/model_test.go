@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// modelEvent is the reference model's view of one scheduled callback: the
+// old-heap semantics are simply "non-cancelled events fire in (at, seq)
+// order", with seq allocated per schedule call.
+type modelEvent struct {
+	at        Time
+	seq       int
+	id        int
+	cancelled bool
+	fired     bool
+}
+
+// TestRandomInterleavingMatchesModel drives the kernel with random
+// interleavings of At, Schedule, Cancel, Timer.Reset, Timer.Stop and
+// partial RunUntil drains, and checks the observed fire sequence against a
+// reference model implementing the pre-pool heap semantics (stable
+// (at, seq) order, eager cancellation). This pins the refactored kernel —
+// pooling, lazy cancellation, compaction, closure-free timers — to the old
+// observable behavior.
+func TestRandomInterleavingMatchesModel(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		s := New(1)
+
+		var model []*modelEvent
+		var handles []Handle // handles[i] belongs to model[i]; zero for timer arms
+		var got []int        // event ids in kernel fire order
+		seq := 0
+		nextID := 0
+
+		// One timer participates: each arm is a model event like any other,
+		// with at most one arm live. timerArmID is what the kernel-side
+		// callback records; timerIdx is the model's index of the live arm.
+		timerArmID := -1
+		timerIdx := -1
+		timer := NewTimer(s, func() { got = append(got, timerArmID) })
+
+		// modelFire returns, in old-heap order, the ids of every live model
+		// event due at or before horizon, marking them fired.
+		modelFire := func(horizon Time) []int {
+			var ready []*modelEvent
+			for _, m := range model {
+				if !m.cancelled && !m.fired && m.at <= horizon {
+					ready = append(ready, m)
+				}
+			}
+			sort.Slice(ready, func(i, j int) bool {
+				return ready[i].at < ready[j].at ||
+					(ready[i].at == ready[j].at && ready[i].seq < ready[j].seq)
+			})
+			var ids []int
+			for _, m := range ready {
+				m.fired = true
+				ids = append(ids, m.id)
+			}
+			return ids
+		}
+
+		var want []int
+		for op := 0; op < 300; op++ {
+			switch k := r.Intn(10); {
+			case k < 4: // schedule a one-shot
+				id := nextID
+				nextID++
+				at := s.Now() + Time(r.Intn(50))
+				h := s.At(at, func() { got = append(got, id) })
+				handles = append(handles, h)
+				model = append(model, &modelEvent{at: at, seq: seq, id: id})
+				seq++
+			case k < 6: // cancel a random earlier event
+				if len(handles) == 0 {
+					continue
+				}
+				i := r.Intn(len(handles))
+				if handles[i] == (Handle{}) {
+					continue // a timer arm; not externally cancellable
+				}
+				s.Cancel(handles[i])
+				if !model[i].fired {
+					model[i].cancelled = true
+				}
+			case k < 8: // rearm the timer
+				d := Time(r.Intn(40) + 1)
+				timer.Reset(d)
+				if timerIdx >= 0 && !model[timerIdx].fired {
+					model[timerIdx].cancelled = true
+				}
+				id := nextID
+				nextID++
+				timerArmID = id
+				handles = append(handles, Handle{}) // keep indices aligned
+				model = append(model, &modelEvent{at: s.Now() + d, seq: seq, id: id})
+				timerIdx = len(model) - 1
+				seq++
+			case k == 8: // stop the timer
+				timer.Stop()
+				if timerIdx >= 0 && !model[timerIdx].fired {
+					model[timerIdx].cancelled = true
+				}
+				timerIdx = -1
+			default: // drain part of the queue
+				horizon := s.Now() + Time(r.Intn(30))
+				want = append(want, modelFire(horizon)...)
+				s.RunUntil(horizon)
+			}
+		}
+		want = append(want, modelFire(MaxTime)...)
+		s.Run()
+
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: fire order diverged from old-heap model\n got: %v\nwant: %v",
+				trial, got, want)
+		}
+	}
+}

@@ -1,66 +1,107 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
-// Event is a scheduled callback. Events are created through Simulator.At and
-// Simulator.Schedule and may be cancelled before they fire.
-type Event struct {
-	at        Time
-	seq       uint64 // tiebreaker: FIFO among events at the same instant
-	fn        func()
-	index     int // position in the heap, -1 once popped
-	cancelled bool
+// Event states. A slot's state outlives its stay in the queue: after an
+// event fires or its cancellation is collected, the slot keeps the final
+// state (and its generation) until the free list hands it out again, so
+// stale Handles still answer Pending/Cancelled correctly in the meantime.
+const (
+	statePending uint8 = iota + 1
+	stateFired
+	stateCancelled
+)
+
+// event is one pooled slot in the simulator's slab. Slots are recycled
+// through a free list; gen counts leases so that Handles from a previous
+// lease go inert instead of acting on the slot's new occupant.
+type event struct {
+	at    Time
+	fn    func()
+	next  int32 // free-list link while released
+	gen   uint32
+	state uint8
 }
 
-// At returns the instant the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Handle identifies one scheduled event. It is a small value (copy freely;
+// the zero Handle refers to no event) carrying the slot index and the lease
+// generation: once the event has fired or its cancellation has been
+// collected and the slot reused, the generation no longer matches and the
+// Handle becomes inert — Cancel is a no-op and the predicates return false.
+type Handle struct {
+	s   *Simulator
+	idx int32
+	gen uint32
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
-
-// eventHeap implements container/heap ordered by (at, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// lease returns the slot if the handle still refers to its own lease.
+func (h Handle) lease() *event {
+	if h.s == nil {
+		return nil
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
+	e := &h.s.slab[h.idx]
+	if e.gen != h.gen {
+		return nil
+	}
 	return e
+}
+
+// Pending reports whether the event is still queued to fire.
+func (h Handle) Pending() bool {
+	e := h.lease()
+	return e != nil && e.state == statePending
+}
+
+// Cancelled reports whether the event was cancelled before it fired. A
+// fired event reports false. Once the kernel reuses the underlying slot the
+// handle is inert and also reports false.
+func (h Handle) Cancelled() bool {
+	e := h.lease()
+	return e != nil && e.state == stateCancelled
+}
+
+// At returns the instant the event is (or was) scheduled to fire, or 0 for
+// an inert handle. Guard with Pending when the distinction matters.
+func (h Handle) At() Time {
+	if e := h.lease(); e != nil {
+		return e.at
+	}
+	return 0
+}
+
+// heapEntry is one element of the pending queue, ordered by (at, seq). The
+// sort keys are stored inline so heap sifting never chases slab pointers.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
+}
+
+func entryLess(a, b heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Simulator is a deterministic discrete-event simulation kernel. It owns the
 // virtual clock, the pending-event queue and a seeded random source shared by
 // all stochastic models so runs reproduce exactly for a given seed.
 //
+// The kernel performs no steady-state allocations: event slots live in a
+// slab recycled through a free list, and cancellation is lazy — Cancel
+// marks the slot dead in O(1) and the queue drops dead entries when they
+// surface (or in a bulk compaction once they outnumber the live ones),
+// instead of an O(log n) removal per cancel.
+//
 // Simulator is not safe for concurrent use; the entire simulation executes on
 // a single goroutine, which is what makes determinism cheap.
 type Simulator struct {
 	now     Time
-	events  eventHeap
+	slab    []event
+	free    int32 // head of the released-slot list, -1 when empty
+	entries []heapEntry
+	dead    int // cancelled entries still sitting in the queue
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -70,7 +111,7 @@ type Simulator struct {
 
 // New creates a simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{rng: rand.New(rand.NewSource(seed)), free: -1}
 }
 
 // Now returns the current virtual time.
@@ -80,8 +121,9 @@ func (s *Simulator) Now() Time { return s.now }
 // randomness must come from here; do not use the global rand functions.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
-// Pending returns the number of events currently queued.
-func (s *Simulator) Pending() int { return len(s.events) }
+// Pending returns the number of live (non-cancelled) events currently
+// queued.
+func (s *Simulator) Pending() int { return len(s.entries) - s.dead }
 
 // Fired returns the number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
@@ -91,39 +133,96 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 // n = 0 disables the limit.
 func (s *Simulator) SetEventLimit(n uint64) { s.limit = n }
 
+// acquire leases a slot for a new pending event, reusing a released slot
+// when one is available.
+func (s *Simulator) acquire(at Time, fn func()) (int32, uint32) {
+	if s.free >= 0 {
+		idx := s.free
+		e := &s.slab[idx]
+		s.free = e.next
+		e.gen++
+		e.at, e.fn, e.state = at, fn, statePending
+		return idx, e.gen
+	}
+	s.slab = append(s.slab, event{at: at, fn: fn, state: statePending})
+	return int32(len(s.slab) - 1), 0
+}
+
+// release retires a slot that has left the queue. The final state stays
+// readable through old Handles until the slot is leased again.
+func (s *Simulator) release(idx int32, final uint8) {
+	e := &s.slab[idx]
+	e.state = final
+	e.fn = nil // drop the closure so it can be collected
+	e.next = s.free
+	s.free = idx
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics, because silently reordering events would
 // corrupt causality.
-func (s *Simulator) At(t Time, fn func()) *Event {
+func (s *Simulator) At(t Time, fn func()) Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	idx, gen := s.acquire(t, fn)
+	s.heapPush(heapEntry{at: t, seq: s.seq, idx: idx})
 	s.seq++
-	heap.Push(&s.events, e)
-	return e
+	return Handle{s: s, idx: idx, gen: gen}
 }
 
 // Schedule schedules fn to run delay after the current time.
-func (s *Simulator) Schedule(delay Time, fn func()) *Event {
+func (s *Simulator) Schedule(delay Time, fn func()) Handle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	return s.At(s.now+delay, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op, so callers can cancel defensively.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.cancelled {
+// Cancel marks a pending event dead in O(1); the queue discards the entry
+// when it reaches the front, or earlier during a bulk compaction. Cancelling
+// an already-fired, already-cancelled or inert handle is a no-op, so callers
+// can cancel defensively.
+func (s *Simulator) Cancel(h Handle) {
+	if h.s != s { // covers the zero Handle and cross-simulator misuse
 		return
 	}
-	e.cancelled = true
-	if e.index >= 0 {
-		heap.Remove(&s.events, e.index)
+	e := &s.slab[h.idx]
+	if e.gen != h.gen || e.state != statePending {
+		return
+	}
+	e.state = stateCancelled
+	s.dead++
+	s.maybeCompact()
+}
+
+// compactMinDead keeps tiny queues from compacting on every few cancels;
+// below this many dead entries the pop-time skip handles them cheaply.
+const compactMinDead = 64
+
+// maybeCompact rebuilds the queue without its dead entries once they
+// outnumber the live ones. Filtering preserves nothing about the internal
+// heap layout, but pop order is the total (at, seq) order either way, so
+// compaction is invisible to the simulation.
+func (s *Simulator) maybeCompact() {
+	if s.dead < compactMinDead || s.dead*2 <= len(s.entries) {
+		return
+	}
+	kept := s.entries[:0]
+	for _, en := range s.entries {
+		if s.slab[en.idx].state == statePending {
+			kept = append(kept, en)
+		} else {
+			s.release(en.idx, stateCancelled)
+		}
+	}
+	s.entries = kept
+	s.dead = 0
+	for i := len(s.entries)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
 	}
 }
 
@@ -132,25 +231,33 @@ func (s *Simulator) Cancel(e *Event) {
 func (s *Simulator) Stop() { s.stopped = true }
 
 // step pops and fires the next event. It reports false when the queue is
-// empty or only holds events after horizon.
+// empty or only holds events after horizon. Dead entries at the front are
+// collected without firing (and without advancing the clock), each counting
+// as one step.
 func (s *Simulator) step(horizon Time) bool {
-	if len(s.events) == 0 {
+	if len(s.entries) == 0 {
 		return false
 	}
-	next := s.events[0]
-	if next.at > horizon {
-		return false
-	}
-	heap.Pop(&s.events)
-	if next.cancelled {
+	top := s.entries[0]
+	e := &s.slab[top.idx]
+	if e.state == stateCancelled {
+		s.heapPopTop()
+		s.dead--
+		s.release(top.idx, stateCancelled)
 		return true
 	}
-	s.now = next.at
+	if top.at > horizon {
+		return false
+	}
+	s.heapPopTop()
+	fn := e.fn
+	s.release(top.idx, stateFired)
+	s.now = top.at
 	s.fired++
 	if s.limit != 0 && s.fired > s.limit {
 		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
 	}
-	next.fn()
+	fn()
 	return true
 }
 
@@ -173,4 +280,54 @@ func (s *Simulator) RunUntil(horizon Time) {
 	if !s.stopped && s.now < horizon {
 		s.now = horizon
 	}
+}
+
+// --- pending queue: a hand-rolled binary heap over (at, seq) ---
+
+func (s *Simulator) heapPush(en heapEntry) {
+	s.entries = append(s.entries, en)
+	s.siftUp(len(s.entries) - 1)
+}
+
+// heapPopTop removes the root entry.
+func (s *Simulator) heapPopTop() {
+	n := len(s.entries) - 1
+	s.entries[0] = s.entries[n]
+	s.entries = s.entries[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+}
+
+func (s *Simulator) siftUp(i int) {
+	en := s.entries[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(en, s.entries[parent]) {
+			break
+		}
+		s.entries[i] = s.entries[parent]
+		i = parent
+	}
+	s.entries[i] = en
+}
+
+func (s *Simulator) siftDown(i int) {
+	n := len(s.entries)
+	en := s.entries[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && entryLess(s.entries[r], s.entries[c]) {
+			c = r
+		}
+		if !entryLess(s.entries[c], en) {
+			break
+		}
+		s.entries[i] = s.entries[c]
+		i = c
+	}
+	s.entries[i] = en
 }

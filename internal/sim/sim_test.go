@@ -268,7 +268,7 @@ func TestCancelSubsetProperty(t *testing.T) {
 		s := New(1)
 		r := rand.New(rand.NewSource(seed))
 		firedSet := make(map[int]bool)
-		events := make([]*Event, count)
+		events := make([]Handle, count)
 		for i := 0; i < count; i++ {
 			i := i
 			events[i] = s.Schedule(Time(r.Intn(100))*Microsecond, func() { firedSet[i] = true })

@@ -4,10 +4,15 @@ package sim
 // building block for MAC timeouts, ARQ retransmission timers and OS-level
 // inactivity timeouts: all of those are "fire unless something resets me
 // first" patterns.
+//
+// The expiry closure is created once at construction; Reset rearms the
+// timer by lazily cancelling the previous pooled event and leasing a new
+// one, so an arbitrarily long reset storm performs no allocations.
 type Timer struct {
 	sim   *Simulator
 	fn    func()
-	event *Event
+	fire  func() // hoisted expiry thunk, created once in NewTimer
+	event Handle
 }
 
 // NewTimer creates a stopped timer that will invoke fn when it expires.
@@ -15,56 +20,56 @@ func NewTimer(s *Simulator, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil timer function")
 	}
-	return &Timer{sim: s, fn: fn}
+	t := &Timer{sim: s, fn: fn}
+	t.fire = func() {
+		t.event = Handle{}
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire after d, cancelling any pending expiry.
 func (t *Timer) Reset(d Time) {
-	t.Stop()
-	t.event = t.sim.Schedule(d, func() {
-		t.event = nil
-		t.fn()
-	})
+	t.sim.Cancel(t.event)
+	t.event = t.sim.Schedule(d, t.fire)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
-	t.Stop()
-	t.event = t.sim.At(at, func() {
-		t.event = nil
-		t.fn()
-	})
+	t.sim.Cancel(t.event)
+	t.event = t.sim.At(at, t.fire)
 }
 
 // Stop cancels the pending expiry, if any. It reports whether a pending
 // expiry was actually cancelled.
 func (t *Timer) Stop() bool {
-	if t.event == nil {
-		return false
-	}
+	armed := t.event.Pending()
 	t.sim.Cancel(t.event)
-	t.event = nil
-	return true
+	t.event = Handle{}
+	return armed
 }
 
 // Armed reports whether the timer currently has a pending expiry.
-func (t *Timer) Armed() bool { return t.event != nil }
+func (t *Timer) Armed() bool { return t.event.Pending() }
 
 // Deadline returns the pending expiry instant, or MaxTime when stopped.
 func (t *Timer) Deadline() Time {
-	if t.event == nil {
+	if !t.event.Pending() {
 		return MaxTime
 	}
 	return t.event.At()
 }
 
 // Ticker repeatedly invokes a callback at a fixed period until stopped.
-// The callback runs first at start+period.
+// The callback runs first at start+period. Like Timer, the tick closure is
+// created once and each period rearms a pooled event, so a steady ticker
+// allocates nothing.
 type Ticker struct {
 	sim    *Simulator
 	period Time
 	fn     func()
-	event  *Event
+	tick   func() // hoisted tick thunk, created once in NewTicker
+	event  Handle
 	live   bool
 }
 
@@ -77,12 +82,8 @@ func NewTicker(s *Simulator, period Time, fn func()) *Ticker {
 		panic("sim: nil ticker function")
 	}
 	t := &Ticker{sim: s, period: period, fn: fn, live: true}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.event = t.sim.Schedule(t.period, func() {
+	t.tick = func() {
+		t.event = Handle{}
 		if !t.live {
 			return
 		}
@@ -90,7 +91,13 @@ func (t *Ticker) arm() {
 		if t.live {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.event = t.sim.Schedule(t.period, t.tick)
 }
 
 // Stop halts the ticker; no further callbacks run.
@@ -100,5 +107,5 @@ func (t *Ticker) Stop() {
 	}
 	t.live = false
 	t.sim.Cancel(t.event)
-	t.event = nil
+	t.event = Handle{}
 }
