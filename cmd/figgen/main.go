@@ -8,7 +8,9 @@
 // Usage:
 //
 //	figgen [-seed N] [-seeds N] [-parallel N] [-run REGEX] [-tags T1,T2]
-//	       [-json] [-list] [-benchjson FILE [-benchlabel L]] [experiment ...]
+//	       [-json] [-list] [-cpuprofile FILE] [-memprofile FILE]
+//	       [-benchjson FILE [-benchgate LABEL]] [-macrojson FILE]
+//	       [-benchlabel L] [experiment ...]
 //
 // With no selection flags every experiment runs in order. All (experiment
 // × seed) jobs run on a worker pool sized by -parallel, which defaults to
@@ -16,10 +18,15 @@
 // shared machine). The output is identical for every -parallel value, only
 // the wall clock changes. With -seeds N > 1 each selected experiment runs
 // on N consecutive seeds (base -seed) and figgen reports each metric's
-// mean ± 95% confidence interval.
+// mean ± 95% confidence interval. -cpuprofile/-memprofile bracket whatever
+// the command runs — so profiling the hot path of any registered
+// experiment is one command.
 //
 // -benchjson FILE runs the internal/sim kernel benchmark suite instead of
-// any experiments and upserts the results into FILE under -benchlabel (see
+// any experiments and upserts the results into FILE under -benchlabel;
+// -benchgate LABEL additionally fails the run if any kernel benchmark
+// allocates, and warns when ns/op regresses >20% against that baseline
+// entry. -macrojson FILE times every registered experiment end-to-end (see
 // EXPERIMENTS.md, "Kernel benchmarks").
 package main
 
@@ -29,37 +36,37 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strings"
 
+	"repro/internal/cli"
 	_ "repro/internal/exp" // register the experiment catalogue
 	"repro/internal/scenario"
 )
 
 type options struct {
-	seed       int64
-	seeds      int
-	parallel   int
+	rf         cli.RunFlags
 	pattern    string
 	tags       string
 	jsonOut    bool
 	list       bool
 	benchJSON  string
+	macroJSON  string
 	benchLabel string
+	benchGate  string
 	names      []string
 }
 
 func main() {
 	var o options
-	flag.Int64Var(&o.seed, "seed", 1, "base simulation seed")
-	flag.IntVar(&o.seeds, "seeds", 1, "number of consecutive seeds per experiment")
-	flag.IntVar(&o.parallel, "parallel", runtime.NumCPU(), "worker pool size for (experiment × seed) jobs")
+	o.rf.Register(flag.CommandLine)
 	flag.StringVar(&o.pattern, "run", "", "run only experiments whose name matches this anchored regexp")
 	flag.StringVar(&o.tags, "tags", "", "run only experiments carrying one of these comma-separated tags")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON instead of tables")
 	flag.BoolVar(&o.list, "list", false, "list experiments and exit")
 	flag.StringVar(&o.benchJSON, "benchjson", "", "run the sim kernel benchmarks and upsert results into this JSON file")
-	flag.StringVar(&o.benchLabel, "benchlabel", "dev", "label for the -benchjson trajectory entry")
+	flag.StringVar(&o.macroJSON, "macrojson", "", "time every registered experiment end-to-end and upsert results into this JSON file")
+	flag.StringVar(&o.benchLabel, "benchlabel", "dev", "label for the -benchjson/-macrojson trajectory entry")
+	flag.StringVar(&o.benchGate, "benchgate", "", "with -benchjson: enforce the bench gate against this baseline label")
 	flag.Parse()
 	o.names = flag.Args()
 
@@ -75,13 +82,35 @@ func run(w io.Writer, o options) error {
 		list(w)
 		return nil
 	}
-	if o.benchJSON != "" {
-		// Benchmark mode runs no experiments; a selection alongside it is
-		// a confused command line, not something to silently ignore.
+	if o.benchJSON != "" || o.macroJSON != "" {
+		// Benchmark mode runs no experiment selection; a selection alongside
+		// it is a confused command line, not something to silently ignore.
 		if o.pattern != "" || o.tags != "" || len(o.names) > 0 {
-			return fmt.Errorf("-benchjson runs kernel benchmarks only; drop the experiment selection (-run/-tags/names)")
+			return fmt.Errorf("-benchjson/-macrojson run benchmark suites only; drop the experiment selection (-run/-tags/names)")
 		}
-		return runBenchJSON(w, o.benchJSON, o.benchLabel)
+		if o.benchGate != "" && o.benchJSON == "" {
+			return fmt.Errorf("-benchgate gates the kernel suite; it requires -benchjson")
+		}
+		stop, err := o.rf.StartProfiles()
+		if err != nil {
+			return err
+		}
+		if o.benchJSON != "" {
+			if err := runBenchJSON(w, o.benchJSON, "sim-kernel", o.benchLabel, o.benchGate, o.rf.Seed); err != nil {
+				stop()
+				return err
+			}
+		}
+		if o.macroJSON != "" {
+			if err := runBenchJSON(w, o.macroJSON, "macro", o.benchLabel, "", o.rf.Seed); err != nil {
+				stop()
+				return err
+			}
+		}
+		return stop()
+	}
+	if o.benchGate != "" {
+		return fmt.Errorf("-benchgate requires -benchjson")
 	}
 	specs, err := selectSpecs(o)
 	if err != nil {
@@ -90,13 +119,16 @@ func run(w io.Writer, o options) error {
 	if len(specs) == 0 {
 		return fmt.Errorf("no experiments match (use -list)")
 	}
-	// Every run goes through the Runner so -parallel fans (experiment ×
-	// seed) jobs even at -seeds 1; single-seed output renders the classic
-	// per-experiment tables from the lone per-seed result, so only that
-	// case asks the (otherwise streaming) Runner to retain raw Results.
-	seeds := scenario.Seeds(o.seed, o.seeds)
-	runner := &scenario.Runner{Parallel: o.parallel, KeepPerSeed: len(seeds) == 1}
-	aggs := runner.Run(specs, seeds)
+	// Every run goes through the shared Runner setup so -parallel fans
+	// (experiment × seed) jobs even at -seeds 1; single-seed output renders
+	// the classic per-experiment tables from the lone per-seed result, so
+	// only that case asks the (otherwise streaming) Runner to retain raw
+	// Results.
+	seeds := o.rf.Seeds()
+	aggs, err := o.rf.Run(specs, len(seeds) == 1)
+	if err != nil {
+		return err
+	}
 	if o.jsonOut {
 		docs := make([]jsonExperiment, 0, len(aggs))
 		for _, agg := range aggs {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cli"
 	"repro/internal/scenario"
 )
 
@@ -60,7 +61,7 @@ func TestListIsGeneratedFromRegistry(t *testing.T) {
 
 func TestRunRegexSelection(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, options{seed: 1, seeds: 1, pattern: "e1[5-7]"}); err != nil {
+	if err := run(&buf, options{rf: cli.RunFlags{Seed: 1, SeedsN: 1}, pattern: "e1[5-7]"}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -76,7 +77,7 @@ func TestRunRegexSelection(t *testing.T) {
 
 func TestTagSelection(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, options{seed: 1, seeds: 1, tags: "ablation"}); err != nil {
+	if err := run(&buf, options{rf: cli.RunFlags{Seed: 1, SeedsN: 1}, tags: "ablation"}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -90,20 +91,20 @@ func TestTagSelection(t *testing.T) {
 
 func TestUnknownExperimentIsError(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, options{seed: 1, seeds: 1, names: []string{"nope"}})
+	err := run(&buf, options{rf: cli.RunFlags{Seed: 1, SeedsN: 1}, names: []string{"nope"}})
 	if err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("unknown name should error, got %v", err)
 	}
 }
 
 func TestMultiSeedOutputParallelInvariant(t *testing.T) {
-	opts := options{seed: 1, seeds: 4, pattern: "e17"}
+	opts := options{rf: cli.RunFlags{Seed: 1, SeedsN: 4}, pattern: "e17"}
 	var seq, par bytes.Buffer
-	opts.parallel = 1
+	opts.rf.Parallel = 1
 	if err := run(&seq, opts); err != nil {
 		t.Fatal(err)
 	}
-	opts.parallel = 8
+	opts.rf.Parallel = 8
 	if err := run(&par, opts); err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestMultiSeedOutputParallelInvariant(t *testing.T) {
 func TestJSONOutput(t *testing.T) {
 	// Multiple experiments must still form one valid JSON document.
 	var buf bytes.Buffer
-	if err := run(&buf, options{seed: 1, seeds: 3, parallel: 3, pattern: "e1[67]", jsonOut: true}); err != nil {
+	if err := run(&buf, options{rf: cli.RunFlags{Seed: 1, SeedsN: 3, Parallel: 3}, pattern: "e1[67]", jsonOut: true}); err != nil {
 		t.Fatal(err)
 	}
 	var docs []jsonExperiment
@@ -135,7 +136,7 @@ func TestJSONOutput(t *testing.T) {
 
 func TestJSONSingleSeedUsesValues(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, options{seed: 1, seeds: 1, pattern: "e17", jsonOut: true}); err != nil {
+	if err := run(&buf, options{rf: cli.RunFlags{Seed: 1, SeedsN: 1}, pattern: "e17", jsonOut: true}); err != nil {
 		t.Fatal(err)
 	}
 	var docs []jsonExperiment
@@ -151,10 +152,10 @@ func TestSingleSeedHonorsParallel(t *testing.T) {
 	// -parallel must apply at -seeds 1 too (experiments fan across the
 	// pool) without changing the classic table output.
 	var seq, par bytes.Buffer
-	if err := run(&seq, options{seed: 1, seeds: 1, parallel: 1, pattern: "e1[5-7]"}); err != nil {
+	if err := run(&seq, options{rf: cli.RunFlags{Seed: 1, SeedsN: 1, Parallel: 1}, pattern: "e1[5-7]"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&par, options{seed: 1, seeds: 1, parallel: 8, pattern: "e1[5-7]"}); err != nil {
+	if err := run(&par, options{rf: cli.RunFlags{Seed: 1, SeedsN: 1, Parallel: 8}, pattern: "e1[5-7]"}); err != nil {
 		t.Fatal(err)
 	}
 	if seq.String() != par.String() {
@@ -170,5 +171,20 @@ func TestBenchJSONRejectsExperimentSelection(t *testing.T) {
 	err := run(&buf, options{benchJSON: "/tmp/should-not-exist.json", names: []string{"e10"}})
 	if err == nil || !strings.Contains(err.Error(), "benchjson") {
 		t.Fatalf("-benchjson with experiment selection should error, got %v", err)
+	}
+}
+
+func TestBenchGateRequiresKernelSuite(t *testing.T) {
+	// A gate request must never be silently dropped: without -benchjson it
+	// is an error both alone and alongside -macrojson.
+	for _, o := range []options{
+		{benchGate: "pr3-after"},
+		{benchGate: "pr3-after", macroJSON: "/tmp/should-not-exist.json"},
+	} {
+		var buf bytes.Buffer
+		err := run(&buf, o)
+		if err == nil || !strings.Contains(err.Error(), "benchjson") {
+			t.Fatalf("-benchgate without -benchjson should error, got %v", err)
+		}
 	}
 }

@@ -16,21 +16,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"repro/internal/channel"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
 func main() {
+	var rf cli.RunFlags
+	rf.Register(flag.CommandLine)
 	var (
 		nClients  = flag.Int("clients", 3, "number of MP3-streaming clients")
 		duration  = flag.Float64("duration", 120, "simulated seconds")
-		seed      = flag.Int64("seed", 1, "base simulation seed")
-		seedsN    = flag.Int("seeds", 1, "number of consecutive seeds")
-		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker pool size for multi-seed runs")
 		schedName = flag.String("scheduler", "edf", "scheduler: edf | wfq | rr")
 		polName   = flag.String("policy", "adaptive", "interface policy: adaptive | wlan | bt")
 		epoch     = flag.Float64("epoch", 10, "scheduling epoch (burst period) in seconds")
@@ -88,8 +87,19 @@ func main() {
 		return h, rep
 	}
 
-	if *seedsN <= 1 {
-		h, rep := runOne(*seed)
+	if rf.SeedsN <= 1 {
+		// The single-seed path bypasses the Runner for its detailed report,
+		// so bracket it with the profile hooks directly.
+		stop, err := rf.StartProfiles()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hotspotsim: %v\n", err)
+			os.Exit(2)
+		}
+		h, rep := runOne(rf.Seed)
+		if err := stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "hotspotsim: %v\n", err)
+			os.Exit(2)
+		}
 		fmt.Println(rep)
 		fmt.Printf("urgent top-ups: %d\n", h.RM().Urgents())
 		if rep.QoSMaintained() {
@@ -129,7 +139,10 @@ func main() {
 			}}
 		},
 	}
-	runner := &scenario.Runner{Parallel: *parallel}
-	agg := runner.Run([]scenario.Spec{spec}, scenario.Seeds(*seed, *seedsN))[0]
-	fmt.Print(agg.Table())
+	aggs, err := rf.Run([]scenario.Spec{spec}, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hotspotsim: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(aggs[0].Table())
 }

@@ -13,8 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"runtime"
+	"os"
 
+	"repro/internal/cli"
 	"repro/internal/frame"
 	"repro/internal/mac/dcf"
 	"repro/internal/mac/ecmac"
@@ -26,13 +27,12 @@ import (
 )
 
 func main() {
+	var rf cli.RunFlags
+	rf.Register(flag.CommandLine)
 	var (
 		stationsN = flag.Int("stations", 4, "number of client stations")
 		rateKBs   = flag.Float64("rate", 16, "downlink KB/s per station")
 		duration  = flag.Float64("duration", 30, "simulated seconds")
-		seed      = flag.Int64("seed", 1, "base simulation seed")
-		seedsN    = flag.Int("seeds", 1, "number of consecutive seeds per protocol")
-		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker pool size for (protocol × seed) jobs")
 	)
 	flag.Parse()
 
@@ -41,9 +41,12 @@ func main() {
 	dur := sim.FromSeconds(*duration)
 
 	specs := protocolSpecs(*stationsN, chunk, interval, dur)
-	seeds := scenario.Seeds(*seed, *seedsN)
-	runner := &scenario.Runner{Parallel: *parallel}
-	aggs := runner.Run(specs, seeds)
+	seeds := rf.Seeds()
+	aggs, err := rf.Run(specs, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	t := stats.NewTable(
 		fmt.Sprintf("MAC comparison — %d stations, %.0f KB/s each, %.0fs, %d seed(s)",

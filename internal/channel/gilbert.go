@@ -85,8 +85,8 @@ type GilbertElliott struct {
 	timeBad  sim.Time
 	lastAt   sim.Time
 
-	frozen bool // when scripted control takes over, stop autonomous flips
-	flip   sim.Handle
+	frozen bool       // when scripted control takes over, stop autonomous flips
+	flips  *sim.Batch // the autonomous state-transition events (one live at a time)
 }
 
 // NewGilbertElliott creates the channel in the Good state and schedules its
@@ -96,6 +96,7 @@ func NewGilbertElliott(s *sim.Simulator, p GEParams) *GilbertElliott {
 		panic(err)
 	}
 	c := &GilbertElliott{sim: s, params: p, rng: s.Rand(), state: Good, lastAt: s.Now()}
+	c.flips = s.NewBatch(1)
 	c.scheduleFlip()
 	return c
 }
@@ -144,8 +145,7 @@ func (c *GilbertElliott) SampleBitErrors(bytes int) int {
 // can control the state explicitly with ForceState.
 func (c *GilbertElliott) Freeze() {
 	c.frozen = true
-	c.sim.Cancel(c.flip)
-	c.flip = sim.Handle{}
+	c.flips.CancelAll()
 }
 
 // ForceState sets the channel state directly (for scripted scenarios such as
@@ -187,7 +187,7 @@ func (c *GilbertElliott) scheduleFlip() {
 	if hold < sim.Microsecond {
 		hold = sim.Microsecond
 	}
-	c.flip = c.sim.Schedule(hold, func() {
+	c.flips.Schedule(hold, func() {
 		if c.frozen {
 			return
 		}

@@ -1,0 +1,97 @@
+// Package cli holds the flag-parsing and Runner-setup boilerplate shared
+// by the experiment frontends (figgen, macbench, hotspotsim), so the seed /
+// seeds / parallel / profiling conventions are declared once and cannot
+// drift between commands again.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/scenario"
+)
+
+// RunFlags is the shared frontend flag set: seeding, worker-pool sizing and
+// optional CPU/heap profiling of the run.
+type RunFlags struct {
+	Seed       int64
+	SeedsN     int
+	Parallel   int
+	CPUProfile string
+	MemProfile string
+}
+
+// Register installs the shared flags on fs with the repository-wide
+// defaults (seed 1, one seed, NumCPU workers, no profiling).
+func (f *RunFlags) Register(fs *flag.FlagSet) {
+	fs.Int64Var(&f.Seed, "seed", 1, "base simulation seed")
+	fs.IntVar(&f.SeedsN, "seeds", 1, "number of consecutive seeds per experiment")
+	fs.IntVar(&f.Parallel, "parallel", runtime.NumCPU(), "worker pool size for (experiment × seed) jobs")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile at the end of the run to this file")
+}
+
+// Seeds returns the seed set selected by the flags: SeedsN consecutive
+// seeds starting at Seed.
+func (f *RunFlags) Seeds() []int64 { return scenario.Seeds(f.Seed, f.SeedsN) }
+
+// Runner builds a scenario.Runner with the selected pool size.
+func (f *RunFlags) Runner(keepPerSeed bool) *scenario.Runner {
+	return &scenario.Runner{Parallel: f.Parallel, KeepPerSeed: keepPerSeed}
+}
+
+// Run executes specs across the selected seeds on a pool-sized Runner,
+// bracketed by any requested profiles — so hot-path profiling of any
+// registered experiment is one command:
+//
+//	figgen -cpuprofile cpu.out -run e5 -seeds 32
+func (f *RunFlags) Run(specs []scenario.Spec, keepPerSeed bool) ([]scenario.AggResult, error) {
+	stop, err := f.StartProfiles()
+	if err != nil {
+		return nil, err
+	}
+	aggs := f.Runner(keepPerSeed).Run(specs, f.Seeds())
+	return aggs, stop()
+}
+
+// StartProfiles begins CPU profiling when -cpuprofile was given and returns
+// a stop function that finalizes it and writes the -memprofile heap
+// snapshot. The stop function is always non-nil and safe to call once.
+// Frontends that bypass Run (single-seed direct paths) call this pair
+// around their own run.
+func (f *RunFlags) StartProfiles() (stop func() error, err error) {
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer mf.Close()
+			runtime.GC() // materialize the final live heap before snapshotting
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

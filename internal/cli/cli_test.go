@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func testSpec() scenario.Spec {
+	return scenario.Spec{
+		Name: "t", Desc: "test spec",
+		Run: func(seed int64) scenario.Result {
+			return scenario.Result{Name: "t", Values: map[string]float64{"seed": float64(seed)}}
+		},
+	}
+}
+
+func TestRegisterDefaults(t *testing.T) {
+	var f RunFlags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-seed", "7", "-seeds", "3", "-parallel", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Seed != 7 || f.SeedsN != 3 || f.Parallel != 2 {
+		t.Fatalf("parsed flags %+v", f)
+	}
+	seeds := f.Seeds()
+	if len(seeds) != 3 || seeds[0] != 7 || seeds[2] != 9 {
+		t.Fatalf("Seeds() = %v, want [7 8 9]", seeds)
+	}
+}
+
+func TestRunAggregatesAcrossSeeds(t *testing.T) {
+	f := RunFlags{Seed: 1, SeedsN: 4, Parallel: 2}
+	aggs, err := f.Run([]scenario.Spec{testSpec()}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 1 || len(aggs[0].Metrics) != 1 {
+		t.Fatalf("unexpected aggregate shape: %+v", aggs)
+	}
+	if m := aggs[0].Metrics[0]; m.N != 4 || m.Mean != 2.5 {
+		t.Fatalf("seed metric = %+v, want mean 2.5 over 4 seeds", m)
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := RunFlags{
+		Seed: 1, SeedsN: 2, Parallel: 1,
+		CPUProfile: filepath.Join(dir, "cpu.out"),
+		MemProfile: filepath.Join(dir, "mem.out"),
+	}
+	if _, err := f.Run([]scenario.Spec{testSpec()}, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{f.CPUProfile, f.MemProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilesErrorOnBadPath(t *testing.T) {
+	f := RunFlags{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")}
+	if _, err := f.StartProfiles(); err == nil {
+		t.Fatal("StartProfiles accepted an unwritable path")
+	}
+}

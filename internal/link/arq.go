@@ -143,6 +143,9 @@ func Transfer(s *sim.Simulator, ch *channel.GilbertElliott, p Params, totalPacke
 	if totalPackets <= 0 {
 		panic("link: totalPackets must be positive")
 	}
+	// Reserve the transfer's concurrent event capacity up front so the
+	// per-packet scheduling hot path never grows the slab mid-transfer.
+	s.Reserve(window(p))
 	eng := &engine{s: s, ch: ch, p: p, total: totalPackets}
 	switch p.ARQ {
 	case NoARQ:
@@ -158,7 +161,21 @@ func Transfer(s *sim.Simulator, ch *channel.GilbertElliott, p Params, totalPacke
 	return eng.result()
 }
 
-// engine holds shared transfer state.
+// window returns the number of concurrently outstanding events a transfer
+// keeps in flight, used to size the engine's event batch up front.
+func window(p Params) int {
+	if p.ARQ == GoBackN || p.ARQ == SelectiveRepeat {
+		return p.Window + 1 // pipelined data plus one ACK in flight
+	}
+	return 2
+}
+
+// engine holds shared transfer state. A finished engine deliberately never
+// cancels its leftover queued events: their completions still draw from
+// the channel's error process when they fire (the done-guards make them
+// no-ops otherwise), and the adaptive-ARQ experiments run several
+// transfers on one simulator — cancelling would shift every later RNG
+// draw.
 type engine struct {
 	s     *sim.Simulator
 	ch    *channel.GilbertElliott

@@ -39,9 +39,15 @@ type Station struct {
 	slots     int // remaining backoff slots
 	haveBO    bool
 
-	difsEvent sim.Handle
-	slotEvent sim.Handle
-	ackTimer  *sim.Timer
+	// contention is a two-slot batch grouping the DIFS and slot-countdown
+	// events, so leaving the listening state (doze, our own transmission)
+	// is one group cancel. The individual handles stay alongside for the
+	// selective freeze path, which must leave same-instant events alive
+	// to model DCF collisions.
+	contention *sim.Batch
+	difsEvent  sim.Handle
+	slotEvent  sim.Handle
+	ackTimer   *sim.Timer
 
 	lastSeq      map[int]int // per-sender dedup of MAC retransmissions
 	pendingSends int         // SendAfter responses not yet on the air
@@ -68,6 +74,7 @@ func NewStation(id int, m *Medium, dev *radio.Device) *Station {
 	}
 	st := &Station{id: id, med: m, sim: m.sim, dev: dev, cfg: m.cfg, awake: true,
 		cw: m.cfg.CWMin, lastSeq: make(map[int]int)}
+	st.contention = m.sim.NewSlotBatch(2) // slot 0: DIFS, slot 1: backoff countdown
 	st.ackTimer = sim.NewTimer(m.sim, st.onAckTimeout)
 	m.attach(st)
 	return st
@@ -169,7 +176,7 @@ func (st *Station) startContention() {
 	if st.med.Busy() {
 		return // mediumIdle() will restart us
 	}
-	st.difsEvent = st.sim.Schedule(st.cfg.DIFS, func() {
+	st.difsEvent = st.contention.ScheduleSlot(0, st.cfg.DIFS, func() {
 		st.difsEvent = sim.Handle{}
 		st.countDown()
 	})
@@ -180,7 +187,7 @@ func (st *Station) countDown() {
 		st.beginDataTx()
 		return
 	}
-	st.slotEvent = st.sim.Schedule(st.cfg.SlotTime, func() {
+	st.slotEvent = st.contention.ScheduleSlot(1, st.cfg.SlotTime, func() {
 		st.slotEvent = sim.Handle{}
 		st.slots--
 		if st.slots == 0 {
@@ -197,12 +204,12 @@ func (st *Station) countDown() {
 	})
 }
 
-// cancelContention hard-cancels all pending contention events (used when the
-// station leaves the listening state entirely, e.g. dozing or transmitting).
+// cancelContention hard-cancels all pending contention events as a group
+// (used when the station leaves the listening state entirely, e.g. dozing
+// or transmitting).
 func (st *Station) cancelContention() {
-	st.sim.Cancel(st.difsEvent)
+	st.contention.CancelAll()
 	st.difsEvent = sim.Handle{}
-	st.sim.Cancel(st.slotEvent)
 	st.slotEvent = sim.Handle{}
 }
 

@@ -30,9 +30,15 @@ type Client struct {
 
 	retrieving bool
 	bcastWait  bool
-	timeout    *sim.Timer
-	seq        int
-	stats      ClientStats
+	// cycle groups the client's beacon-cycle events — the pre-TBTT wakeup
+	// and the doze-retry polls — per station, so a future protocol change
+	// (listen-interval renegotiation, association teardown) can drop a
+	// whole cycle in one CancelAll. The retrieve timeout stays a Timer:
+	// its rearm-or-fire lifecycle is already a self-cancelling group.
+	cycle   *sim.Batch
+	timeout *sim.Timer
+	seq     int
+	stats   ClientStats
 
 	// OnData is invoked for every retrieved data frame.
 	OnData func(f *frame.Frame)
@@ -47,6 +53,7 @@ func NewClient(s *sim.Simulator, m *dcf.Medium, dev *radio.Device, ap *AP, id in
 	c := &Client{sim: s, cfg: cfg, ap: ap, id: id}
 	c.sta = dcf.NewStation(id, m, dev)
 	c.sta.OnReceive = c.onReceive
+	c.cycle = s.NewSlotBatch(2) // slot 0: pre-TBTT wakeup, slot 1: doze retry
 	c.timeout = sim.NewTimer(s, c.onRetrieveTimeout)
 	ap.SetPSMode(id, true)
 	c.sta.Doze()
@@ -75,7 +82,7 @@ func (c *Client) scheduleWake() {
 	if wakeAt <= c.sim.Now() {
 		wakeAt = c.sim.Now()
 	}
-	c.sim.At(wakeAt, func() {
+	c.cycle.AtSlot(0, wakeAt, func() {
 		if !c.sta.Awake() {
 			c.sta.WakeUp(nil)
 		}
@@ -115,7 +122,7 @@ func (c *Client) attemptDoze() {
 		c.sta.Doze()
 		return
 	}
-	c.sim.Schedule(sim.Millisecond, c.attemptDoze)
+	c.cycle.ScheduleSlot(1, sim.Millisecond, c.attemptDoze)
 }
 
 func (c *Client) onReceive(f *frame.Frame) {

@@ -39,6 +39,21 @@ func KernelBenchmarks() []KernelBenchmark {
 			Doc:  "MAC-like mix: one-shot frames, a beacon ticker, a rearmed ARQ timer",
 			Run:  benchMixedMAC,
 		},
+		{
+			Name: "DenseStorm",
+			Doc:  "64 interleaved short-timer chains: the dense near-future wheel regime",
+			Run:  benchDenseStorm,
+		},
+		{
+			Name: "BucketBoundary",
+			Doc:  "coarse-tick chains straddling bucket boundaries (intra-tick ordering)",
+			Run:  benchBucketBoundary,
+		},
+		{
+			Name: "OverflowMigrate",
+			Doc:  "far-future events staged from the overflow heap as their tick arrives",
+			Run:  benchOverflowMigrate,
+		},
 	}
 }
 
@@ -92,6 +107,77 @@ func benchCancelHeavy(n int) {
 		}
 		s.RunUntil(s.Now() + Time(batch+1)*Microsecond)
 	}
+}
+
+// benchDenseStorm keeps 64 event chains in flight with staggered 1–13 µs
+// gaps — the dense-AP / micro-sleep regime the timing wheel exists for.
+// With dozens of events always pending, the front register stays out of the
+// way and every operation exercises bucket insertion, the occupancy-bitmap
+// scan and the single-event-bucket firing path.
+func benchDenseStorm(n int) {
+	s := New(1)
+	const chains = 64
+	fired := 0
+	var fns [chains]func()
+	for i := range fns {
+		i := i
+		fns[i] = func() {
+			fired++
+			if fired < n {
+				s.Schedule(Time(i%13+1), fns[i])
+			}
+		}
+	}
+	for i := range fns {
+		s.Schedule(Time(i%13+1), fns[i])
+	}
+	s.Run()
+}
+
+// benchBucketBoundary runs two dozen chains at a coarse 16 µs tick whose
+// gaps keep landing events on both sides of tick boundaries, so buckets
+// hold multiple events with distinct timestamps and the intra-tick due heap
+// does real (at, seq) ordering work on every staging.
+func benchBucketBoundary(n int) {
+	s := NewTuned(1, Tuning{TickShift: 4, WheelBits: 6, CompactMinDead: 64})
+	const chains = 24
+	gaps := [8]Time{13, 16, 19, 32, 15, 17, 1, 47}
+	fired := 0
+	var fns [chains]func()
+	for i := range fns {
+		i := i
+		fns[i] = func() {
+			fired++
+			if fired < n {
+				s.Schedule(gaps[(fired+i)%len(gaps)], fns[i])
+			}
+		}
+	}
+	for i := range fns {
+		s.Schedule(gaps[i%len(gaps)]+Time(i), fns[i])
+	}
+	s.Run()
+}
+
+// benchOverflowMigrate keeps 16 events in flight far beyond the wheel span,
+// so every event lives in the overflow heap until the clock closes in and
+// the staging path hands it to the due heap — the migration cost a
+// hierarchical wheel pays for far-future timers (beacons, DTIM cycles).
+func benchOverflowMigrate(n int) {
+	s := New(1)
+	const lead = 4096 * Microsecond // 4× the default wheel span
+	fired := 0
+	var fn func()
+	fn = func() {
+		fired++
+		if fired < n {
+			s.Schedule(lead, fn)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		s.Schedule(lead+Time(i), fn)
+	}
+	s.Run()
 }
 
 // benchMixedMAC approximates a station's event mix: a chain of one-shot

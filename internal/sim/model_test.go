@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -18,106 +19,162 @@ type modelEvent struct {
 	fired     bool
 }
 
+// modelTunings are the kernel tunings the reference-model test sweeps. The
+// non-default entries are chosen to be hostile to the timing wheel: a
+// 4-bucket wheel rotates constantly and pushes most events through the
+// overflow heap; coarse ticks force the intra-tick due heap to do real
+// ordering work; a tiny CompactMinDead makes compaction fire mid-run.
+func modelTunings() []Tuning {
+	return []Tuning{
+		DefaultTuning(),
+		{TickShift: 0, WheelBits: 2, CompactMinDead: 4},                             // constant rotation + overflow
+		{TickShift: 3, WheelBits: 4, CompactMinDead: 8},                             // coarse ticks, mid-run compaction
+		{TickShift: 5, WheelBits: 1, CompactMinDead: 64},                            // 2-bucket wheel
+		{TickShift: 0, WheelBits: 10, CompactMinDead: 64, WheelMinPending: 1 << 20}, // routing off: pure heap mode
+	}
+}
+
 // TestRandomInterleavingMatchesModel drives the kernel with random
 // interleavings of At, Schedule, Cancel, Timer.Reset, Timer.Stop and
 // partial RunUntil drains, and checks the observed fire sequence against a
 // reference model implementing the pre-pool heap semantics (stable
 // (at, seq) order, eager cancellation). This pins the refactored kernel —
-// pooling, lazy cancellation, compaction, closure-free timers — to the old
-// observable behavior.
+// pooling, lazy cancellation, compaction, and now the timing wheel with
+// its front register, per-tick buckets and overflow heap — to the old
+// observable behavior, across tunings that exercise every wheel shape.
+//
+// The random delays deliberately straddle each tuning's wheel span: short
+// delays land in buckets (including the current tick), mid delays cross
+// bucket-boundary and rotation edges, and long delays go through the
+// overflow heap and migrate back when their tick comes up.
 func TestRandomInterleavingMatchesModel(t *testing.T) {
-	for trial := 0; trial < 100; trial++ {
-		r := rand.New(rand.NewSource(int64(trial)))
-		s := New(1)
-
-		var model []*modelEvent
-		var handles []Handle // handles[i] belongs to model[i]; zero for timer arms
-		var got []int        // event ids in kernel fire order
-		seq := 0
-		nextID := 0
-
-		// One timer participates: each arm is a model event like any other,
-		// with at most one arm live. timerArmID is what the kernel-side
-		// callback records; timerIdx is the model's index of the live arm.
-		timerArmID := -1
-		timerIdx := -1
-		timer := NewTimer(s, func() { got = append(got, timerArmID) })
-
-		// modelFire returns, in old-heap order, the ids of every live model
-		// event due at or before horizon, marking them fired.
-		modelFire := func(horizon Time) []int {
-			var ready []*modelEvent
-			for _, m := range model {
-				if !m.cancelled && !m.fired && m.at <= horizon {
-					ready = append(ready, m)
-				}
+	for _, tun := range modelTunings() {
+		tun := tun
+		name := fmt.Sprintf("shift%d_bits%d", tun.TickShift, tun.WheelBits)
+		t.Run(name, func(t *testing.T) {
+			span := int(1) << (tun.TickShift + tun.WheelBits)
+			for trial := 0; trial < 100; trial++ {
+				runModelTrial(t, tun, span, trial)
 			}
-			sort.Slice(ready, func(i, j int) bool {
-				return ready[i].at < ready[j].at ||
-					(ready[i].at == ready[j].at && ready[i].seq < ready[j].seq)
-			})
-			var ids []int
-			for _, m := range ready {
-				m.fired = true
-				ids = append(ids, m.id)
-			}
-			return ids
-		}
+		})
+	}
+}
 
-		var want []int
-		for op := 0; op < 300; op++ {
-			switch k := r.Intn(10); {
-			case k < 4: // schedule a one-shot
-				id := nextID
-				nextID++
-				at := s.Now() + Time(r.Intn(50))
-				h := s.At(at, func() { got = append(got, id) })
-				handles = append(handles, h)
-				model = append(model, &modelEvent{at: at, seq: seq, id: id})
-				seq++
-			case k < 6: // cancel a random earlier event
-				if len(handles) == 0 {
-					continue
-				}
-				i := r.Intn(len(handles))
-				if handles[i] == (Handle{}) {
-					continue // a timer arm; not externally cancellable
-				}
-				s.Cancel(handles[i])
-				if !model[i].fired {
-					model[i].cancelled = true
-				}
-			case k < 8: // rearm the timer
-				d := Time(r.Intn(40) + 1)
-				timer.Reset(d)
-				if timerIdx >= 0 && !model[timerIdx].fired {
-					model[timerIdx].cancelled = true
-				}
-				id := nextID
-				nextID++
-				timerArmID = id
-				handles = append(handles, Handle{}) // keep indices aligned
-				model = append(model, &modelEvent{at: s.Now() + d, seq: seq, id: id})
-				timerIdx = len(model) - 1
-				seq++
-			case k == 8: // stop the timer
-				timer.Stop()
-				if timerIdx >= 0 && !model[timerIdx].fired {
-					model[timerIdx].cancelled = true
-				}
-				timerIdx = -1
-			default: // drain part of the queue
-				horizon := s.Now() + Time(r.Intn(30))
-				want = append(want, modelFire(horizon)...)
-				s.RunUntil(horizon)
+func runModelTrial(t *testing.T, tun Tuning, span, trial int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(int64(trial)))
+	s := NewTuned(1, tun)
+
+	var model []*modelEvent
+	var handles []Handle // handles[i] belongs to model[i]; zero for timer arms
+	var got []int        // event ids in kernel fire order
+	seq := 0
+	nextID := 0
+
+	// One timer participates: each arm is a model event like any other,
+	// with at most one arm live. timerArmID is what the kernel-side
+	// callback records; timerIdx is the model's index of the live arm.
+	timerArmID := -1
+	timerIdx := -1
+	timer := NewTimer(s, func() { got = append(got, timerArmID) })
+
+	// modelFire returns, in old-heap order, the ids of every live model
+	// event due at or before horizon, marking them fired.
+	modelFire := func(horizon Time) []int {
+		var ready []*modelEvent
+		for _, m := range model {
+			if !m.cancelled && !m.fired && m.at <= horizon {
+				ready = append(ready, m)
 			}
 		}
-		want = append(want, modelFire(MaxTime)...)
-		s.Run()
-
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("trial %d: fire order diverged from old-heap model\n got: %v\nwant: %v",
-				trial, got, want)
+		sort.Slice(ready, func(i, j int) bool {
+			return ready[i].at < ready[j].at ||
+				(ready[i].at == ready[j].at && ready[i].seq < ready[j].seq)
+		})
+		var ids []int
+		for _, m := range ready {
+			m.fired = true
+			ids = append(ids, m.id)
 		}
+		return ids
+	}
+
+	// delay draws a scheduling offset that lands in the current tick, in a
+	// near-future bucket, just past a wheel-span boundary, or deep in the
+	// overflow heap with roughly equal probability.
+	delay := func() Time {
+		switch r.Intn(4) {
+		case 0: // same-tick and near-bucket (includes 0: the current instant)
+			return Time(r.Intn(1 << tun.TickShift * 2))
+		case 1: // inside the wheel span
+			return Time(r.Intn(span))
+		case 2: // straddle the wheel-rotation boundary
+			return Time(span - span/4 + r.Intn(span/2+1))
+		default: // far future: overflow heap territory
+			return Time(span + r.Intn(span*4))
+		}
+	}
+
+	var want []int
+	for op := 0; op < 300; op++ {
+		switch k := r.Intn(12); {
+		case k < 4: // schedule a one-shot
+			id := nextID
+			nextID++
+			at := s.Now() + delay()
+			h := s.At(at, func() { got = append(got, id) })
+			handles = append(handles, h)
+			model = append(model, &modelEvent{at: at, seq: seq, id: id})
+			seq++
+		case k < 6: // cancel a random earlier event (wheel, overflow or front)
+			if len(handles) == 0 {
+				continue
+			}
+			i := r.Intn(len(handles))
+			if handles[i] == (Handle{}) {
+				continue // a timer arm; not externally cancellable
+			}
+			s.Cancel(handles[i])
+			if !model[i].fired {
+				model[i].cancelled = true
+			}
+		case k < 8: // rearm the timer, migrating it between wheel and overflow
+			d := delay() + 1
+			timer.Reset(d)
+			if timerIdx >= 0 && !model[timerIdx].fired {
+				model[timerIdx].cancelled = true
+			}
+			id := nextID
+			nextID++
+			timerArmID = id
+			handles = append(handles, Handle{}) // keep indices aligned
+			model = append(model, &modelEvent{at: s.Now() + d, seq: seq, id: id})
+			timerIdx = len(model) - 1
+			seq++
+		case k == 8: // stop the timer
+			timer.Stop()
+			if timerIdx >= 0 && !model[timerIdx].fired {
+				model[timerIdx].cancelled = true
+			}
+			timerIdx = -1
+		case k == 9: // long drain: advance across at least one full rotation
+			horizon := s.Now() + Time(span+r.Intn(span*2))
+			want = append(want, modelFire(horizon)...)
+			s.RunUntil(horizon)
+		default: // drain part of the queue
+			horizon := s.Now() + Time(r.Intn(2*span/3+1))
+			want = append(want, modelFire(horizon)...)
+			s.RunUntil(horizon)
+		}
+	}
+	want = append(want, modelFire(MaxTime)...)
+	s.Run()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("trial %d: fire order diverged from old-heap model\n got: %v\nwant: %v",
+			trial, got, want)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("trial %d: %d events still pending after full drain", trial, s.Pending())
 	}
 }

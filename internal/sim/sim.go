@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -17,11 +18,14 @@ const (
 
 // event is one pooled slot in the simulator's slab. Slots are recycled
 // through a free list; gen counts leases so that Handles from a previous
-// lease go inert instead of acting on the slot's new occupant.
+// lease go inert instead of acting on the slot's new occupant. The next
+// field doubles as the free-list link while the slot is released and as the
+// FIFO bucket link while the event waits in the timing wheel.
 type event struct {
 	at    Time
 	fn    func()
-	next  int32 // free-list link while released
+	seq   uint64
+	next  int32 // free-list link when released; bucket FIFO link when queued
 	gen   uint32
 	state uint8
 }
@@ -72,8 +76,9 @@ func (h Handle) At() Time {
 	return 0
 }
 
-// heapEntry is one element of the pending queue, ordered by (at, seq). The
-// sort keys are stored inline so heap sifting never chases slab pointers.
+// heapEntry is one element of the due/overflow heaps, ordered by (at, seq).
+// The sort keys are stored inline so heap sifting never chases slab
+// pointers.
 type heapEntry struct {
 	at  Time
 	seq uint64
@@ -84,9 +89,79 @@ func entryLess(a, b heapEntry) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
+// bucketRef is one timing-wheel bucket: a FIFO of slab indices linked
+// through the events' next fields. Indices are stored biased by +1 so the
+// zero value means empty — a fresh wheel needs no initialization pass.
+type bucketRef struct {
+	head, tail int32 // slab index + 1; 0 = empty
+}
+
+// Tuning exposes the kernel's performance knobs. The defaults are what the
+// committed BENCH_kernel.json numbers were measured at; see EXPERIMENTS.md
+// ("Kernel tuning knobs") for how to choose other values. Every tuning
+// produces the identical event order — these knobs trade memory for speed,
+// never determinism.
+type Tuning struct {
+	// TickShift is log2 of the wheel tick in microseconds: events whose
+	// firing tick (at >> TickShift) is within the wheel span go into O(1)
+	// FIFO buckets instead of the overflow heap. 0 means 1 µs ticks —
+	// exact bucketing with no intra-tick sorting work. Larger values
+	// widen the span at the cost of a small per-tick ordering heap.
+	TickShift uint
+	// WheelBits is log2 of the bucket count; the wheel spans
+	// 2^(WheelBits+TickShift) microseconds of near future. Default 10
+	// (1024 buckets ≈ 1 ms at TickShift 0): MAC-scale timers — SIFS/DIFS
+	// gaps, slot countdowns, ACK timeouts — stay in the wheel, while
+	// beacon-scale events ride the overflow heap.
+	WheelBits uint
+	// CompactMinDead keeps tiny queues from compacting on every few
+	// cancels; below this many dead entries the staging-time skip handles
+	// them cheaply. Compaction triggers once dead entries both reach this
+	// floor and outnumber the live ones.
+	CompactMinDead int
+	// WheelMinPending is the queue depth at which near-future events
+	// start using the wheel. Below it everything rides the plain binary
+	// heap: for a handful of pending events the heap fits in one or two
+	// cache lines and beats touching an 8 KB bucket array, while the
+	// wheel's O(1) buckets win once many short timers are in flight.
+	// Routing is a pure policy choice — pop order is enforced against
+	// every structure, so any value produces the identical simulation.
+	WheelMinPending int
+}
+
+// DefaultTuning returns the tuning the kernel benchmarks are recorded at.
+func DefaultTuning() Tuning {
+	return Tuning{TickShift: 0, WheelBits: 10, CompactMinDead: 64, WheelMinPending: 16}
+}
+
+// Validate checks the tuning for representable, non-degenerate values.
+func (t Tuning) Validate() error {
+	if t.WheelBits < 1 || t.WheelBits > 20 {
+		return fmt.Errorf("sim: WheelBits %d outside [1, 20]", t.WheelBits)
+	}
+	if t.TickShift > 30 {
+		return fmt.Errorf("sim: TickShift %d outside [0, 30]", t.TickShift)
+	}
+	if t.CompactMinDead < 1 {
+		return fmt.Errorf("sim: CompactMinDead must be positive")
+	}
+	if t.WheelMinPending < 0 {
+		return fmt.Errorf("sim: WheelMinPending must be non-negative")
+	}
+	return nil
+}
+
 // Simulator is a deterministic discrete-event simulation kernel. It owns the
 // virtual clock, the pending-event queue and a seeded random source shared by
 // all stochastic models so runs reproduce exactly for a given seed.
+//
+// The pending queue is a hierarchical timing wheel. The next event to fire
+// sits in a front register; near-future events (within the wheel span) live
+// in per-tick FIFO buckets linked through the slab, with an occupancy
+// bitmap locating the next non-empty tick; far-future events wait in an
+// overflow heap and are staged into the wheel's firing path when their tick
+// comes up. Everything fires in exact (at, seq) order — the wheel is
+// invisible to the simulation, it only changes the constant factors.
 //
 // The kernel performs no steady-state allocations: event slots live in a
 // slab recycled through a free list, and cancellation is lazy — Cancel
@@ -97,11 +172,37 @@ func entryLess(a, b heapEntry) bool {
 // Simulator is not safe for concurrent use; the entire simulation executes on
 // a single goroutine, which is what makes determinism cheap.
 type Simulator struct {
-	now     Time
-	slab    []event
-	free    int32 // head of the released-slot list, -1 when empty
-	entries []heapEntry
-	dead    int // cancelled entries still sitting in the queue
+	now   Time
+	slab  []event
+	free  int32 // head of the released-slot list, -1 when empty
+	nFree int   // length of the released-slot list
+
+	// front is the cached next-to-fire entry: it is always ≤ every entry
+	// in due/wheel/overflow, so the single-event-in-flight patterns
+	// (timers, tickers, event chains) never touch the wheel at all.
+	front    heapEntry
+	hasFront bool
+
+	due      []heapEntry // (at, seq) heap of the tick currently being fired
+	wheel    []bucketRef // near-future FIFO buckets, one per tick; lazily allocated
+	occ      []uint64    // occupancy bitmap over wheel buckets
+	overflow []heapEntry // (at, seq) heap of events beyond the wheel span
+	nWheel   int         // entries (live + dead) currently in wheel buckets
+	size     int64       // bucket count (1 << Tuning.WheelBits)
+
+	// wheelHint is a lower bound on the earliest live wheel tick, so the
+	// occupancy scan starts where the events are instead of walking empty
+	// buckets from the current tick — the difference between O(1) and
+	// O(span/64) per staging when wheel residents are sparse (a lone
+	// millisecond ticker, say). Inserts lower it, scans tighten it.
+	wheelHint int64
+
+	tickShift       uint
+	mask            int64 // size - 1
+	compactMinDead  int
+	wheelMinPending int
+
+	dead    int // cancelled entries still sitting in due/wheel/overflow
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -109,9 +210,30 @@ type Simulator struct {
 	limit   uint64 // safety valve against runaway event loops; 0 = unlimited
 }
 
-// New creates a simulator whose random source is seeded with seed.
+// New creates a simulator with the default tuning, seeded with seed.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed)), free: -1}
+	return NewTuned(seed, DefaultTuning())
+}
+
+// NewTuned creates a simulator with explicit kernel tuning. Invalid tunings
+// panic: a tuning is build-time configuration, not runtime input.
+func NewTuned(seed int64, t Tuning) *Simulator {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	size := int64(1) << t.WheelBits
+	// The bucket array and bitmap are allocated on the first near-future
+	// insert: sparse workloads whose events all live beyond the wheel span
+	// run pure heap and never pay for the wheel.
+	return &Simulator{
+		rng:             rand.New(rand.NewSource(seed)),
+		free:            -1,
+		size:            size,
+		tickShift:       t.TickShift,
+		mask:            size - 1,
+		compactMinDead:  t.CompactMinDead,
+		wheelMinPending: t.WheelMinPending,
+	}
 }
 
 // Now returns the current virtual time.
@@ -123,7 +245,13 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
 // Pending returns the number of live (non-cancelled) events currently
 // queued.
-func (s *Simulator) Pending() int { return len(s.entries) - s.dead }
+func (s *Simulator) Pending() int {
+	n := len(s.due) + s.nWheel + len(s.overflow) - s.dead
+	if s.hasFront {
+		n++
+	}
+	return n
+}
 
 // Fired returns the number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
@@ -140,11 +268,12 @@ func (s *Simulator) acquire(at Time, fn func()) (int32, uint32) {
 		idx := s.free
 		e := &s.slab[idx]
 		s.free = e.next
+		s.nFree--
 		e.gen++
-		e.at, e.fn, e.state = at, fn, statePending
+		e.at, e.fn, e.seq, e.state = at, fn, s.seq, statePending
 		return idx, e.gen
 	}
-	s.slab = append(s.slab, event{at: at, fn: fn, state: statePending})
+	s.slab = append(s.slab, event{at: at, fn: fn, seq: s.seq, state: statePending})
 	return int32(len(s.slab) - 1), 0
 }
 
@@ -156,6 +285,7 @@ func (s *Simulator) release(idx int32, final uint8) {
 	e.fn = nil // drop the closure so it can be collected
 	e.next = s.free
 	s.free = idx
+	s.nFree++
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is a
@@ -169,8 +299,26 @@ func (s *Simulator) At(t Time, fn func()) Handle {
 		panic("sim: nil event function")
 	}
 	idx, gen := s.acquire(t, fn)
-	s.heapPush(heapEntry{at: t, seq: s.seq, idx: idx})
+	en := heapEntry{at: t, seq: s.seq, idx: idx}
 	s.seq++
+	if s.hasFront {
+		if entryLess(en, s.front) {
+			// The new event precedes the cached minimum: swap them. The
+			// displaced front is still ≤ everything already queued, so the
+			// front invariant survives in both directions.
+			en, s.front = s.front, en
+			s.push(en)
+		} else {
+			s.push(en)
+		}
+	} else if len(s.due) == 0 && s.nWheel == 0 && len(s.overflow) == 0 {
+		s.front, s.hasFront = en, true
+	} else {
+		// The front register is only trustworthy as the queue minimum when
+		// it was populated against an empty queue; with entries already in
+		// the structures it stays vacant until the queue drains.
+		s.push(en)
+	}
 	return Handle{s: s, idx: idx, gen: gen}
 }
 
@@ -182,9 +330,52 @@ func (s *Simulator) Schedule(delay Time, fn func()) Handle {
 	return s.At(s.now+delay, fn)
 }
 
+// push routes a pending entry into the due heap, a wheel bucket or the
+// overflow heap according to how far ahead its tick lies.
+func (s *Simulator) push(en heapEntry) {
+	tick := int64(en.at) >> s.tickShift
+	nowTick := int64(s.now) >> s.tickShift
+	switch d := tick - nowTick; {
+	case d == 0:
+		// The event lands in the tick currently being fired. Anything for
+		// this tick still waiting in its bucket or atop the overflow heap
+		// must be staged first, or the due heap would hide it.
+		s.stageTick(tick)
+		s.heapPush(&s.due, en)
+	case d <= s.mask:
+		if s.nWheel == 0 && len(s.overflow)+len(s.due) < s.wheelMinPending {
+			// Sparse queue: the plain heap is cache-tighter than the
+			// bucket array. Routing is policy only — order is enforced
+			// at pop time against every structure.
+			s.heapPush(&s.overflow, en)
+			return
+		}
+		if s.wheel == nil {
+			s.wheel = make([]bucketRef, s.size)
+			s.occ = make([]uint64, (s.size+63)/64)
+		}
+		if s.nWheel == 0 || tick < s.wheelHint {
+			s.wheelHint = tick
+		}
+		b := tick & s.mask
+		e := &s.slab[en.idx]
+		e.next = -1
+		if bkt := &s.wheel[b]; bkt.head == 0 {
+			bkt.head, bkt.tail = en.idx+1, en.idx+1
+			s.occ[b>>6] |= 1 << uint(b&63)
+		} else {
+			s.slab[bkt.tail-1].next = en.idx
+			bkt.tail = en.idx + 1
+		}
+		s.nWheel++
+	default:
+		s.heapPush(&s.overflow, en)
+	}
+}
+
 // Cancel marks a pending event dead in O(1); the queue discards the entry
-// when it reaches the front, or earlier during a bulk compaction. Cancelling
-// an already-fired, already-cancelled or inert handle is a no-op, so callers
+// when it surfaces, or earlier during a bulk compaction. Cancelling an
+// already-fired, already-cancelled or inert handle is a no-op, so callers
 // can cancel defensively.
 func (s *Simulator) Cancel(h Handle) {
 	if h.s != s { // covers the zero Handle and cross-simulator misuse
@@ -194,35 +385,77 @@ func (s *Simulator) Cancel(h Handle) {
 	if e.gen != h.gen || e.state != statePending {
 		return
 	}
+	if s.hasFront && s.front.idx == h.idx {
+		// The front register is a single entry, so eager removal is O(1).
+		s.hasFront = false
+		s.release(h.idx, stateCancelled)
+		return
+	}
 	e.state = stateCancelled
 	s.dead++
 	s.maybeCompact()
 }
 
-// compactMinDead keeps tiny queues from compacting on every few cancels;
-// below this many dead entries the pop-time skip handles them cheaply.
-const compactMinDead = 64
-
-// maybeCompact rebuilds the queue without its dead entries once they
-// outnumber the live ones. Filtering preserves nothing about the internal
-// heap layout, but pop order is the total (at, seq) order either way, so
-// compaction is invisible to the simulation.
+// maybeCompact rebuilds the queue structures without their dead entries
+// once they outnumber the live ones. Compaction preserves nothing about the
+// internal layout, but pop order is the total (at, seq) order either way,
+// so it is invisible to the simulation.
 func (s *Simulator) maybeCompact() {
-	if s.dead < compactMinDead || s.dead*2 <= len(s.entries) {
+	if s.dead < s.compactMinDead || s.dead*2 <= len(s.due)+s.nWheel+len(s.overflow) {
 		return
 	}
-	kept := s.entries[:0]
-	for _, en := range s.entries {
+	s.compactHeap(&s.due)
+	s.compactHeap(&s.overflow)
+	for w, word := range s.occ {
+		for word != 0 {
+			b := int64(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+			s.compactBucket(b)
+		}
+	}
+	s.dead = 0
+}
+
+// compactHeap filters a heap's dead entries in place and restores the heap
+// property over the survivors.
+func (s *Simulator) compactHeap(h *[]heapEntry) {
+	kept := (*h)[:0]
+	for _, en := range *h {
 		if s.slab[en.idx].state == statePending {
 			kept = append(kept, en)
 		} else {
 			s.release(en.idx, stateCancelled)
 		}
 	}
-	s.entries = kept
-	s.dead = 0
-	for i := len(s.entries)/2 - 1; i >= 0; i-- {
-		s.siftDown(i)
+	*h = kept
+	for i := len(*h)/2 - 1; i >= 0; i-- {
+		s.siftDown(*h, i)
+	}
+}
+
+// compactBucket relinks a wheel bucket keeping only pending events.
+func (s *Simulator) compactBucket(b int64) {
+	bkt := &s.wheel[b]
+	head, tail := int32(-1), int32(-1)
+	for idx := bkt.head - 1; idx >= 0; {
+		next := s.slab[idx].next
+		if s.slab[idx].state == statePending {
+			s.slab[idx].next = -1
+			if head < 0 {
+				head, tail = idx, idx
+			} else {
+				s.slab[tail].next = idx
+				tail = idx
+			}
+		} else {
+			s.nWheel--
+			s.release(idx, stateCancelled)
+		}
+		idx = next
+	}
+	bkt.head, bkt.tail = head+1, tail+1
+	if head < 0 {
+		s.occ[b>>6] &^= 1 << uint(b&63)
 	}
 }
 
@@ -230,34 +463,242 @@ func (s *Simulator) maybeCompact() {
 // completes. Pending events remain queued.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// nextWheelTick scans the occupancy bitmap circularly and returns the tick
+// of the nearest non-empty bucket. The caller has already established
+// nWheel > 0, so a set bit exists. The scan starts at wheelHint — a proven
+// lower bound on the earliest live tick — and tightens the hint to what it
+// finds, so repeated stagings of a sparse wheel stay O(1).
+func (s *Simulator) nextWheelTick() (int64, bool) {
+	base := int64(s.now) >> s.tickShift
+	if s.wheelHint > base {
+		base = s.wheelHint
+	}
+	p0 := base & s.mask
+	w0 := int(p0 >> 6)
+	off := uint(p0 & 63)
+	// Fast path: the nearest occupied bucket shares the scan origin's
+	// bitmap word — true for every MAC-scale gap under the default tuning.
+	if word := s.occ[w0] >> off; word != 0 {
+		t := base + int64(bits.TrailingZeros64(word))
+		s.wheelHint = t
+		return t, true
+	}
+	words := len(s.occ)
+	for k := 1; k <= words; k++ {
+		wi := w0 + k
+		if wi >= words {
+			wi -= words
+		}
+		word := s.occ[wi]
+		if k == words {
+			word &= (1 << off) - 1
+		}
+		if word == 0 {
+			continue
+		}
+		p := int64(wi<<6 + bits.TrailingZeros64(word))
+		t := base + ((p - p0) & s.mask)
+		s.wheelHint = t
+		return t, true
+	}
+	return 0, false
+}
+
+// purgeOverflowDead pops cancelled entries off the overflow heap's top so
+// the top is either live or the heap is empty.
+func (s *Simulator) purgeOverflowDead() {
+	for len(s.overflow) > 0 {
+		top := s.overflow[0]
+		if s.slab[top.idx].state == statePending {
+			return
+		}
+		s.heapPopTop(&s.overflow)
+		s.dead--
+		s.release(top.idx, stateCancelled)
+	}
+}
+
+// stageTick moves every queued entry of tick t — its wheel bucket FIFO plus
+// any overflow-heap entries that have come into range — onto the due heap.
+// Dead entries are collected instead of staged.
+func (s *Simulator) stageTick(t int64) {
+	b := t & s.mask
+	if s.nWheel > 0 && s.occ[b>>6]&(1<<uint(b&63)) != 0 {
+		bkt := &s.wheel[b]
+		idx := bkt.head - 1
+		for idx >= 0 {
+			e := &s.slab[idx]
+			next := e.next
+			s.nWheel--
+			if e.state == statePending {
+				s.heapPush(&s.due, heapEntry{at: e.at, seq: e.seq, idx: idx})
+			} else {
+				s.dead--
+				s.release(idx, stateCancelled)
+			}
+			idx = next
+		}
+		bkt.head, bkt.tail = 0, 0
+		s.occ[b>>6] &^= 1 << uint(b&63)
+	}
+	if len(s.overflow) == 0 {
+		return
+	}
+	for {
+		s.purgeOverflowDead()
+		if len(s.overflow) == 0 {
+			return
+		}
+		top := s.overflow[0]
+		if int64(top.at)>>s.tickShift != t {
+			return
+		}
+		s.heapPopTop(&s.overflow)
+		s.heapPush(&s.due, top)
+	}
+}
+
+// limitExceeded is the event-limit panic, kept out of line so the firing
+// path in step stays small.
+func (s *Simulator) limitExceeded() {
+	panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
+}
+
 // step pops and fires the next event. It reports false when the queue is
-// empty or only holds events after horizon. Dead entries at the front are
+// empty or only holds events after horizon. Dead entries that surface are
 // collected without firing (and without advancing the clock), each counting
 // as one step.
 func (s *Simulator) step(horizon Time) bool {
-	if len(s.entries) == 0 {
-		return false
-	}
-	top := s.entries[0]
-	e := &s.slab[top.idx]
-	if e.state == stateCancelled {
-		s.heapPopTop()
-		s.dead--
-		s.release(top.idx, stateCancelled)
+	for {
+		var en heapEntry // the live entry to fire, set by one of the branches
+		if s.hasFront {
+			if s.front.at > horizon {
+				return false
+			}
+			en = s.front
+			s.hasFront = false
+		} else if len(s.due) > 0 {
+			top := s.due[0]
+			if s.slab[top.idx].state != statePending {
+				s.heapPopTop(&s.due)
+				s.dead--
+				s.release(top.idx, stateCancelled)
+				return true
+			}
+			if top.at > horizon {
+				return false
+			}
+			s.heapPopTop(&s.due)
+			en = top
+		} else if s.nWheel == 0 && len(s.overflow) > 0 &&
+			s.slab[s.overflow[0].idx].state == statePending {
+			// Overflow-only fast path: the live heap top is the global
+			// minimum (front, due and wheel are all empty), so sparse
+			// second-scale workloads fire straight off the heap exactly
+			// like the plain heap this kernel replaced.
+			top := s.overflow[0]
+			if top.at > horizon {
+				return false
+			}
+			s.heapPopTop(&s.overflow)
+			en = top
+		} else if !s.stageNext(horizon, &en) {
+			return false
+		} else if en.idx < 0 {
+			// stageNext made progress (collected a dead entry or staged a
+			// tick) without producing a live entry; go around again.
+			continue
+		}
+		// Fire: release the slot first so the callback can schedule into it.
+		e := &s.slab[en.idx]
+		fn := e.fn
+		s.release(en.idx, stateFired)
+		s.now = en.at
+		s.fired++
+		if s.limit != 0 && s.fired > s.limit {
+			s.limitExceeded()
+		}
+		fn()
 		return true
 	}
-	if top.at > horizon {
+}
+
+// stageNext advances the queue when nothing is staged for firing: it finds
+// the next tick holding events — the nearest occupied wheel bucket or the
+// overflow top, whichever is earlier — and stages it, gated on the horizon
+// so a bounded run never pulls future ticks into the due heap ahead of
+// order. It reports false when the queue is empty or entirely beyond the
+// horizon. On true, *en is either a live entry to fire (single-event
+// bucket fast path) or remains {idx: -1} when only staging/collection
+// happened.
+func (s *Simulator) stageNext(horizon Time, en *heapEntry) bool {
+	en.idx = -1
+	if len(s.overflow) > 0 && s.slab[s.overflow[0].idx].state != statePending {
+		s.purgeOverflowDead()
+	}
+	if s.nWheel == 0 {
+		// Overflow-only. A live top is fired by step's inline fast path,
+		// so reaching here means the top was dead (purged above) or the
+		// heap is empty; report whether anything remains and let step
+		// loop back into its fast path.
+		return len(s.overflow) > 0
+	}
+	wt, _ := s.nextWheelTick()
+	if len(s.overflow) > 0 {
+		switch ot := int64(s.overflow[0].at) >> s.tickShift; {
+		case ot < wt:
+			// Every live wheel entry sits at tick ≥ wt > ot, i.e. at or
+			// after (ot+1)<<shift, which bounds the overflow top's time
+			// from above — the top is the global minimum. Fire it.
+			top := s.overflow[0]
+			if top.at > horizon {
+				return false
+			}
+			s.heapPopTop(&s.overflow)
+			*en = top
+			return true
+		case ot == wt:
+			// Bucket and overflow entries share the tick: merge them in
+			// the due heap, which restores exact (at, seq) order.
+			if Time(wt<<s.tickShift) > horizon {
+				return false
+			}
+			s.stageTick(wt)
+			return true
+		}
+		// ot > wt: the wheel bucket strictly precedes every overflow
+		// entry; fall through to the bucket paths.
+	}
+	if Time(wt<<s.tickShift) > horizon {
 		return false
 	}
-	s.heapPopTop()
-	fn := e.fn
-	s.release(top.idx, stateFired)
-	s.now = top.at
-	s.fired++
-	if s.limit != 0 && s.fired > s.limit {
-		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
+	b := wt & s.mask
+	bkt := &s.wheel[b]
+	if idx := bkt.head - 1; idx >= 0 && bkt.head == bkt.tail {
+		// Single-event bucket — the dominant shape at 1 µs ticks — skips
+		// the due heap and hands its event straight to the firing path
+		// (or collects it, if it was cancelled).
+		e := &s.slab[idx]
+		bkt.head, bkt.tail = 0, 0
+		s.occ[b>>6] &^= 1 << uint(b&63)
+		s.nWheel--
+		if e.state != statePending {
+			s.dead--
+			s.release(idx, stateCancelled)
+			return true
+		}
+		if e.at > horizon {
+			// Mid-tick horizon (coarse ticks only): park the entry on the
+			// due heap for the next run to pick up.
+			s.heapPush(&s.due, heapEntry{at: e.at, seq: e.seq, idx: idx})
+			return false
+		}
+		*en = heapEntry{at: e.at, seq: e.seq, idx: idx}
+		return true
 	}
-	fn()
+	// The staged tick may have held only dead entries; the caller loops to
+	// either fire from the refilled due heap or stage the next tick.
+	s.stageTick(wt)
 	return true
 }
 
@@ -282,52 +723,52 @@ func (s *Simulator) RunUntil(horizon Time) {
 	}
 }
 
-// --- pending queue: a hand-rolled binary heap over (at, seq) ---
+// --- (at, seq) binary heaps shared by the due and overflow queues ---
 
-func (s *Simulator) heapPush(en heapEntry) {
-	s.entries = append(s.entries, en)
-	s.siftUp(len(s.entries) - 1)
+func (s *Simulator) heapPush(h *[]heapEntry, en heapEntry) {
+	*h = append(*h, en)
+	s.siftUp(*h, len(*h)-1)
 }
 
 // heapPopTop removes the root entry.
-func (s *Simulator) heapPopTop() {
-	n := len(s.entries) - 1
-	s.entries[0] = s.entries[n]
-	s.entries = s.entries[:n]
+func (s *Simulator) heapPopTop(h *[]heapEntry) {
+	n := len(*h) - 1
+	(*h)[0] = (*h)[n]
+	*h = (*h)[:n]
 	if n > 0 {
-		s.siftDown(0)
+		s.siftDown(*h, 0)
 	}
 }
 
-func (s *Simulator) siftUp(i int) {
-	en := s.entries[i]
+func (s *Simulator) siftUp(h []heapEntry, i int) {
+	en := h[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !entryLess(en, s.entries[parent]) {
+		if !entryLess(en, h[parent]) {
 			break
 		}
-		s.entries[i] = s.entries[parent]
+		h[i] = h[parent]
 		i = parent
 	}
-	s.entries[i] = en
+	h[i] = en
 }
 
-func (s *Simulator) siftDown(i int) {
-	n := len(s.entries)
-	en := s.entries[i]
+func (s *Simulator) siftDown(h []heapEntry, i int) {
+	n := len(h)
+	en := h[i]
 	for {
 		c := 2*i + 1
 		if c >= n {
 			break
 		}
-		if r := c + 1; r < n && entryLess(s.entries[r], s.entries[c]) {
+		if r := c + 1; r < n && entryLess(h[r], h[c]) {
 			c = r
 		}
-		if !entryLess(s.entries[c], en) {
+		if !entryLess(h[c], en) {
 			break
 		}
-		s.entries[i] = s.entries[c]
+		h[i] = h[c]
 		i = c
 	}
-	s.entries[i] = en
+	h[i] = en
 }

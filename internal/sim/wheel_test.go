@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestSameTickOrderingAcrossBucketBoundaries pins the (at, seq) contract
+// where the wheel is weakest: coarse ticks put events with different
+// timestamps in one bucket (the due heap must order them by at, then seq),
+// and timestamps one microsecond apart can land in adjacent buckets (the
+// bitmap scan must visit both in order).
+func TestSameTickOrderingAcrossBucketBoundaries(t *testing.T) {
+	s := NewTuned(1, Tuning{TickShift: 3, WheelBits: 4, CompactMinDead: 64}) // 8 µs ticks
+	var got []int
+	rec := func(id int) func() { return func() { got = append(got, id) } }
+
+	// Interleave insertions so bucket FIFO order differs from (at, seq)
+	// order: ats 15, 9, 14, 9 share tick 1; ats 16, 17 sit in tick 2.
+	s.At(15, rec(0))
+	s.At(9, rec(1))
+	s.At(17, rec(2))
+	s.At(14, rec(3))
+	s.At(9, rec(4))
+	s.At(16, rec(5))
+	s.Run()
+
+	want := []int{1, 4, 3, 0, 5, 2} // at 9(seq1), 9(seq4), 14, 15, 16, 17
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestResetMigratesBetweenWheelAndOverflow rearms one timer back and forth
+// across the wheel span, so each Reset lazily kills an arm in one structure
+// and leases a new one in the other.
+func TestResetMigratesBetweenWheelAndOverflow(t *testing.T) {
+	s := NewTuned(1, Tuning{TickShift: 0, WheelBits: 4, CompactMinDead: 64}) // span 16 µs
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+
+	tm.Reset(5)    // wheel
+	tm.Reset(1000) // overflow, wheel arm dead
+	tm.Reset(7)    // wheel again, overflow arm dead
+	tm.Reset(500)  // overflow again
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after reset chain, want 1", got)
+	}
+	s.RunUntil(499)
+	if fired != 0 {
+		t.Fatal("timer fired before its final deadline")
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("timer fired %d times, want exactly 1", fired)
+	}
+	if s.Now() != 500 {
+		t.Fatalf("final arm fired at %v, want 500", s.Now())
+	}
+}
+
+// TestCancelOverflowEntries cancels far-future events sitting in the
+// overflow heap — both below and above the compaction threshold — and
+// checks they neither fire nor linger.
+func TestCancelOverflowEntries(t *testing.T) {
+	s := NewTuned(1, Tuning{TickShift: 0, WheelBits: 4, CompactMinDead: 8})
+	const n = 64
+	var fired []int
+	handles := make([]Handle, n)
+	for i := 0; i < n; i++ {
+		i := i
+		handles[i] = s.At(Time(1000+i), func() { fired = append(fired, i) })
+	}
+	// Cancel 3 of every 4: with CompactMinDead 8 this drives the overflow
+	// heap through compaction while cancelled tops also surface at staging.
+	for i := 0; i < n; i++ {
+		if i%4 != 0 {
+			s.Cancel(handles[i])
+		}
+	}
+	if got := s.Pending(); got != n/4 {
+		t.Fatalf("Pending() = %d after mass cancel, want %d", got, n/4)
+	}
+	s.Run()
+	if len(fired) != n/4 {
+		t.Fatalf("%d events fired, want %d", len(fired), n/4)
+	}
+	for k, id := range fired {
+		if id != k*4 {
+			t.Fatalf("fire order broken at %d: got id %d, want %d", k, id, k*4)
+		}
+	}
+	for i := range handles {
+		if handles[i].Pending() {
+			t.Fatalf("handle %d still pending after drain", i)
+		}
+	}
+}
+
+// TestClockAdvanceAcrossFullRotation jumps the clock over several complete
+// wheel rotations — with cancelled events stranded behind the jumps — and
+// checks that later events still fire in order and the stale dead entries
+// are eventually collected rather than corrupting their reused buckets.
+func TestClockAdvanceAcrossFullRotation(t *testing.T) {
+	s := NewTuned(1, Tuning{TickShift: 0, WheelBits: 3, CompactMinDead: 1024}) // span 8 µs
+	var got []Time
+	rec := func() { got = append(got, s.Now()) }
+
+	// A live event every 3 full rotations, plus a cancelled one in between
+	// whose bucket the later events must be able to reuse.
+	var fireAts []Time
+	for k := 1; k <= 5; k++ {
+		at := Time(k * 24)
+		s.At(at, rec)
+		fireAts = append(fireAts, at)
+		h := s.At(at+4, func() { t.Error("cancelled event fired") })
+		s.Cancel(h)
+	}
+	// Jump in horizon strides wider than the span so whole rotations pass
+	// without any staging.
+	for h := Time(10); h < 200; h += 17 {
+		s.RunUntil(h)
+	}
+	s.Run()
+	if len(got) != len(fireAts) {
+		t.Fatalf("fired %d events, want %d", len(got), len(fireAts))
+	}
+	for i, at := range fireAts {
+		if got[i] != at {
+			t.Fatalf("event %d fired at %v, want %v", i, got[i], at)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events pending after drain", s.Pending())
+	}
+}
+
+// TestTuningValidate rejects degenerate knob settings.
+func TestTuningValidate(t *testing.T) {
+	for _, tun := range []Tuning{
+		{TickShift: 0, WheelBits: 0, CompactMinDead: 64},
+		{TickShift: 0, WheelBits: 21, CompactMinDead: 64},
+		{TickShift: 31, WheelBits: 10, CompactMinDead: 64},
+		{TickShift: 0, WheelBits: 10, CompactMinDead: 0},
+	} {
+		if err := tun.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", tun)
+		}
+	}
+	if err := DefaultTuning().Validate(); err != nil {
+		t.Errorf("default tuning invalid: %v", err)
+	}
+}
+
+// TestBatchCancelAll checks the group-cancel contract: pending members die,
+// fired members are untouched, and the batch is reusable afterwards.
+func TestBatchCancelAll(t *testing.T) {
+	s := New(1)
+	b := s.NewBatch(4)
+	var fired []int
+	for i := 0; i < 4; i++ {
+		i := i
+		b.Schedule(Time(10+i), func() { fired = append(fired, i) })
+	}
+	s.RunUntil(11) // fires members 0 and 1
+	if got := b.Len(); got != 2 {
+		t.Fatalf("Len() = %d with two members fired, want 2", got)
+	}
+	b.CancelAll()
+	if got := b.Len(); got != 0 {
+		t.Fatalf("Len() = %d after CancelAll, want 0", got)
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Fatalf("%d members fired, want 2 (the pre-cancel ones)", len(fired))
+	}
+
+	// The batch must be reusable with the same backing storage.
+	ran := false
+	b.Schedule(5, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("member scheduled after CancelAll did not fire")
+	}
+}
+
+// TestSlotBatch checks the fixed-slot form: slot scheduling replaces the
+// previous occupant (cancelling it if still pending), Slot exposes the
+// current handle, and CancelAll vacates every slot while keeping them
+// reserved for reuse.
+func TestSlotBatch(t *testing.T) {
+	s := New(1)
+	b := s.NewSlotBatch(2)
+	var fired []string
+	b.ScheduleSlot(0, 10, func() { fired = append(fired, "a") })
+	b.ScheduleSlot(1, 20, func() { fired = append(fired, "b") })
+	if !b.Slot(0).Pending() || !b.Slot(1).Pending() {
+		t.Fatal("slots not pending after scheduling")
+	}
+	// Rescheduling an occupied slot cancels the occupant.
+	b.ScheduleSlot(0, 5, func() { fired = append(fired, "a2") })
+	s.Run()
+	if got := len(fired); got != 2 || fired[0] != "a2" || fired[1] != "b" {
+		t.Fatalf("fired %v, want [a2 b]", fired)
+	}
+
+	b.ScheduleSlot(0, 10, func() { t.Error("cancelled slot member fired") })
+	b.ScheduleSlot(1, 10, func() { t.Error("cancelled slot member fired") })
+	b.CancelAll()
+	if b.Len() != 0 {
+		t.Fatalf("Len() = %d after CancelAll, want 0", b.Len())
+	}
+	s.Run()
+
+	// Slots stay addressable after CancelAll.
+	ran := false
+	b.ScheduleSlot(1, 3, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("slot unusable after CancelAll")
+	}
+}
+
+// TestSlotBatchSteadyStateAllocs pins the cost model that justifies using
+// slot batches on the MAC hot path: rearming a slot is allocation-free.
+func TestSlotBatchSteadyStateAllocs(t *testing.T) {
+	s := New(1)
+	b := s.NewSlotBatch(2)
+	nop := func() {}
+	b.ScheduleSlot(0, 1, nop)
+	b.ScheduleSlot(1, 2, nop)
+	s.Run()
+	if a := testing.AllocsPerRun(200, func() {
+		b.ScheduleSlot(0, 1, nop)
+		b.ScheduleSlot(1, 2, nop)
+		b.CancelAll()
+		s.RunUntil(s.Now() + 3)
+	}); a != 0 {
+		t.Errorf("slot rearm cycle allocates %v per run, want 0", a)
+	}
+}
+
+// TestBatchSchedulingIsOrderNeutral pins the adoption guarantee: scheduling
+// through a Batch produces the same firing order as scheduling directly,
+// because Batch.At/Schedule are the plain Simulator calls plus bookkeeping.
+func TestBatchSchedulingIsOrderNeutral(t *testing.T) {
+	direct := New(1)
+	var dOrder []int
+	direct.At(5, func() { dOrder = append(dOrder, 0) })
+	direct.At(5, func() { dOrder = append(dOrder, 1) })
+	direct.At(3, func() { dOrder = append(dOrder, 2) })
+	direct.Run()
+
+	batched := New(1)
+	b := batched.NewBatch(3)
+	var bOrder []int
+	b.At(5, func() { bOrder = append(bOrder, 0) })
+	b.At(5, func() { bOrder = append(bOrder, 1) })
+	b.At(3, func() { bOrder = append(bOrder, 2) })
+	batched.Run()
+
+	if len(dOrder) != len(bOrder) {
+		t.Fatal("event counts diverge")
+	}
+	for i := range dOrder {
+		if dOrder[i] != bOrder[i] {
+			t.Fatalf("order diverges: direct %v, batched %v", dOrder, bOrder)
+		}
+	}
+}
+
+// TestBatchSteadyStateAllocs pins the zero-allocation property of the
+// schedule/cancel group cycle once the batch and slab have warmed up.
+func TestBatchSteadyStateAllocs(t *testing.T) {
+	s := New(1)
+	b := s.NewBatch(8)
+	nop := func() {}
+	// Warm up.
+	for i := 0; i < 8; i++ {
+		b.Schedule(Time(i+1), nop)
+	}
+	b.CancelAll()
+	s.Run()
+
+	if a := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 8; i++ {
+			b.Schedule(Time(i+1), nop)
+		}
+		b.CancelAll()
+		s.RunUntil(s.Now() + 10)
+	}); a != 0 {
+		t.Errorf("batch schedule/cancel cycle allocates %v per run, want 0", a)
+	}
+}
+
+// TestBatchReserveGrowsSlab checks that Reserve pre-leases enough slab
+// capacity that a burst of first-time schedules does not allocate.
+func TestBatchReserveGrowsSlab(t *testing.T) {
+	s := New(1)
+	b := s.NewBatch(0)
+	nop := func() {}
+	if a := testing.AllocsPerRun(5, func() {
+		b.Reserve(64) // no-op once the first call has grown the capacity
+		for i := 0; i < 64; i++ {
+			b.Schedule(Time(i+1), nop)
+		}
+		b.CancelAll()
+		s.Run() // collect the lazily-cancelled slots back onto the free list
+	}); a != 0 {
+		t.Errorf("reserved burst allocates %v per run, want 0", a)
+	}
+}
