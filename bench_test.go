@@ -24,7 +24,7 @@ func BenchmarkExperiments(b *testing.B) {
 		b.Run(spec.Name, func(b *testing.B) {
 			var last scenario.Result
 			for i := 0; i < b.N; i++ {
-				last = spec.Run(int64(i + 1))
+				last = spec.Execute(int64(i + 1))
 			}
 			names := make([]string, 0, len(last.Values))
 			for k := range last.Values {
@@ -58,7 +58,10 @@ func BenchmarkRunnerMultiSeed(b *testing.B) {
 	seeds := scenario.Seeds(1, 4)
 	r := &scenario.Runner{Parallel: 4}
 	for i := 0; i < b.N; i++ {
-		aggs := r.Run([]scenario.Spec{spec}, seeds)
+		aggs, err := r.Run([]scenario.Spec{spec}, seeds)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(aggs[0].Metrics) == 0 {
 			b.Fatal("no metrics")
 		}

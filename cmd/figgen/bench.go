@@ -12,14 +12,17 @@ package main
 //
 // Each PR that touches the kernel appends its before/after numbers under
 // fresh labels, so the perf trajectory is machine-readable from PR 2
-// onward. -benchgate LABEL additionally enforces the kernel contract
-// against a committed baseline entry: any allocating steady-state
-// benchmark fails the run, and a >20% ns/op regression prints a warning.
+// onward. -benchgate LABEL additionally enforces the perf contracts
+// against a committed baseline entry: for the kernel suite, any allocating
+// steady-state benchmark fails the run and a >20% ns/op regression prints
+// a warning; for the macro suite, a >1.30× geometric-mean ns/op regression
+// across the experiments fails the run.
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -85,8 +88,9 @@ func collectKernel() []benchResult {
 }
 
 // collectMacro times every registered experiment end-to-end on the given
-// seed. One "op" is one full Spec.Run — building the scenario, draining the
-// event queue, rendering the result — so these numbers move with the whole
+// seed. One "op" is one full Spec.Execute — building the scenario (under
+// the spec's kernel tuning, when it carries one), draining the event
+// queue, rendering the result — so these numbers move with the whole
 // stack, kernel included.
 func collectMacro(seed int64) []benchResult {
 	var results []benchResult
@@ -95,7 +99,7 @@ func collectMacro(seed int64) []benchResult {
 		results = append(results, best(spec.Name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				spec.Run(seed)
+				spec.Execute(seed)
 			}
 		}))
 	}
@@ -134,7 +138,11 @@ func runBenchJSON(w io.Writer, path, suite, label, gateLabel string, seed int64)
 	}
 	var gateErr error
 	if gateLabel != "" {
-		gateErr = gate(w, results, doc, gateLabel)
+		if suite == "sim-kernel" {
+			gateErr = gate(w, results, doc, gateLabel)
+		} else {
+			gateErr = macroGate(w, results, doc, gateLabel)
+		}
 	}
 	entry := benchEntry{
 		Label:      label,
@@ -209,6 +217,54 @@ func gate(w io.Writer, results []benchResult, doc benchFile, baseLabel string) e
 	}
 	if failed {
 		return fmt.Errorf("bench gate: allocating kernel benchmark (see above)")
+	}
+	return nil
+}
+
+// macroGate enforces the macro wall-clock contract: across the experiments
+// shared with the baseline entry, the geometric mean of ns/op ratios must
+// stay at or under 1.30×. A single experiment may legitimately trade away
+// wall clock (PR 3's wheel did), but the suite as a whole regressing 30%
+// means the scale path got slower and the run fails. The geomean weighs
+// every experiment equally, so one noisy long experiment cannot mask — or
+// fake — a broad regression.
+func macroGate(w io.Writer, results []benchResult, doc benchFile, baseLabel string) error {
+	var base *benchEntry
+	for i := range doc.Entries {
+		if doc.Entries[i].Label == baseLabel {
+			base = &doc.Entries[i]
+			break
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("macro gate: baseline label %q not found in trajectory file", baseLabel)
+	}
+	baseline := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	var sumLog float64
+	n := 0
+	for _, r := range results {
+		b, ok := baseline[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "macro gate: %s has no %q baseline entry (new experiment)\n", r.Name, baseLabel)
+			continue
+		}
+		if b.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		sumLog += math.Log(r.NsPerOp / b.NsPerOp)
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("macro gate: no experiments overlap with baseline %q", baseLabel)
+	}
+	geo := math.Exp(sumLog / float64(n))
+	fmt.Fprintf(w, "MACRO GATE: geomean ×%.3f vs %q over %d experiments (fail threshold ×1.30)\n",
+		geo, baseLabel, n)
+	if geo > 1.30 {
+		return fmt.Errorf("macro gate: geomean ×%.3f vs %q exceeds the 1.30× threshold", geo, baseLabel)
 	}
 	return nil
 }

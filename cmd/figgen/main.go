@@ -8,25 +8,30 @@
 // Usage:
 //
 //	figgen [-seed N] [-seeds N] [-parallel N] [-run REGEX] [-tags T1,T2]
+//	       [-backend local|shard|cached] [-workers N] [-cache-dir DIR]
 //	       [-json] [-list] [-cpuprofile FILE] [-memprofile FILE]
 //	       [-benchjson FILE [-benchgate LABEL]] [-macrojson FILE]
 //	       [-benchlabel L] [experiment ...]
 //
 // With no selection flags every experiment runs in order. All (experiment
-// × seed) jobs run on a worker pool sized by -parallel, which defaults to
-// runtime.NumCPU(); pass -parallel N to override (e.g. -parallel 1 on a
-// shared machine). The output is identical for every -parallel value, only
-// the wall clock changes. With -seeds N > 1 each selected experiment runs
-// on N consecutive seeds (base -seed) and figgen reports each metric's
-// mean ± 95% confidence interval. -cpuprofile/-memprofile bracket whatever
-// the command runs — so profiling the hot path of any registered
-// experiment is one command.
+// × seed) jobs run on the backend selected by -backend: the in-process
+// pool sized by -parallel (default), -workers subprocesses speaking the
+// internal shard protocol, or the local pool behind the on-disk result
+// cache at -cache-dir (see EXPERIMENTS.md, "Execution backends"). The
+// output is identical for every backend and pool size, only the wall clock
+// changes. With -seeds N > 1 each selected experiment runs on N
+// consecutive seeds (base -seed) and figgen reports each metric's mean ±
+// 95% confidence interval. -cpuprofile/-memprofile bracket whatever the
+// command runs — so profiling the hot path of any registered experiment is
+// one command.
 //
 // -benchjson FILE runs the internal/sim kernel benchmark suite instead of
 // any experiments and upserts the results into FILE under -benchlabel;
-// -benchgate LABEL additionally fails the run if any kernel benchmark
-// allocates, and warns when ns/op regresses >20% against that baseline
-// entry. -macrojson FILE times every registered experiment end-to-end (see
+// -macrojson FILE times every registered experiment end-to-end. -benchgate
+// LABEL enforces the perf contract against that baseline entry: with
+// -benchjson it fails the run if any kernel benchmark allocates and warns
+// when ns/op regresses >20%; with -macrojson it fails the run when the
+// geometric mean of per-experiment ns/op ratios exceeds 1.30× (see
 // EXPERIMENTS.md, "Kernel benchmarks").
 package main
 
@@ -66,7 +71,7 @@ func main() {
 	flag.StringVar(&o.benchJSON, "benchjson", "", "run the sim kernel benchmarks and upsert results into this JSON file")
 	flag.StringVar(&o.macroJSON, "macrojson", "", "time every registered experiment end-to-end and upsert results into this JSON file")
 	flag.StringVar(&o.benchLabel, "benchlabel", "dev", "label for the -benchjson/-macrojson trajectory entry")
-	flag.StringVar(&o.benchGate, "benchgate", "", "with -benchjson: enforce the bench gate against this baseline label")
+	flag.StringVar(&o.benchGate, "benchgate", "", "with -benchjson/-macrojson: enforce the bench gates against this baseline label")
 	flag.Parse()
 	o.names = flag.Args()
 
@@ -78,6 +83,12 @@ func main() {
 
 // run executes figgen against the global registry, writing all output to w.
 func run(w io.Writer, o options) error {
+	if o.rf.Worker {
+		// Shard worker mode: serve (spec, seed) requests over stdin/stdout
+		// and do nothing else. Checked before any other mode so a re-exec'd
+		// command line can carry whatever flags the parent had.
+		return o.rf.ServeWorker()
+	}
 	if o.list {
 		list(w)
 		return nil
@@ -87,9 +98,6 @@ func run(w io.Writer, o options) error {
 		// it is a confused command line, not something to silently ignore.
 		if o.pattern != "" || o.tags != "" || len(o.names) > 0 {
 			return fmt.Errorf("-benchjson/-macrojson run benchmark suites only; drop the experiment selection (-run/-tags/names)")
-		}
-		if o.benchGate != "" && o.benchJSON == "" {
-			return fmt.Errorf("-benchgate gates the kernel suite; it requires -benchjson")
 		}
 		stop, err := o.rf.StartProfiles()
 		if err != nil {
@@ -102,7 +110,7 @@ func run(w io.Writer, o options) error {
 			}
 		}
 		if o.macroJSON != "" {
-			if err := runBenchJSON(w, o.macroJSON, "macro", o.benchLabel, "", o.rf.Seed); err != nil {
+			if err := runBenchJSON(w, o.macroJSON, "macro", o.benchLabel, o.benchGate, o.rf.Seed); err != nil {
 				stop()
 				return err
 			}
@@ -110,7 +118,7 @@ func run(w io.Writer, o options) error {
 		return stop()
 	}
 	if o.benchGate != "" {
-		return fmt.Errorf("-benchgate requires -benchjson")
+		return fmt.Errorf("-benchgate requires -benchjson or -macrojson")
 	}
 	specs, err := selectSpecs(o)
 	if err != nil {

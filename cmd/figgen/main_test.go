@@ -26,7 +26,7 @@ func TestRegistryResolvesOldCatalogue(t *testing.T) {
 			t.Errorf("registry missing old catalogue name %q", name)
 			continue
 		}
-		if s.Desc == "" || s.Run == nil || len(s.Tags) == 0 {
+		if s.Desc == "" || !s.Runnable() || len(s.Tags) == 0 {
 			t.Errorf("spec %q is incomplete: %+v", name, s)
 		}
 	}
@@ -174,17 +174,60 @@ func TestBenchJSONRejectsExperimentSelection(t *testing.T) {
 	}
 }
 
-func TestBenchGateRequiresKernelSuite(t *testing.T) {
-	// A gate request must never be silently dropped: without -benchjson it
-	// is an error both alone and alongside -macrojson.
-	for _, o := range []options{
-		{benchGate: "pr3-after"},
-		{benchGate: "pr3-after", macroJSON: "/tmp/should-not-exist.json"},
-	} {
-		var buf bytes.Buffer
-		err := run(&buf, o)
-		if err == nil || !strings.Contains(err.Error(), "benchjson") {
-			t.Fatalf("-benchgate without -benchjson should error, got %v", err)
-		}
+func TestBenchGateRequiresASuite(t *testing.T) {
+	// A gate request must never be silently dropped: without a benchmark
+	// suite to gate it is an error.
+	var buf bytes.Buffer
+	err := run(&buf, options{benchGate: "pr3-after"})
+	if err == nil || !strings.Contains(err.Error(), "benchjson") {
+		t.Fatalf("-benchgate without a suite should error, got %v", err)
+	}
+}
+
+func TestMacroGateGeomean(t *testing.T) {
+	baseline := benchFile{Suite: "macro", Entries: []benchEntry{{
+		Label: "base",
+		Benchmarks: []benchResult{
+			{Name: "e1", NsPerOp: 100},
+			{Name: "e2", NsPerOp: 200},
+			{Name: "e3", NsPerOp: 50},
+		},
+	}}}
+	fresh := []benchResult{
+		{Name: "e1", NsPerOp: 100},
+		{Name: "e2", NsPerOp: 200},
+		{Name: "e3", NsPerOp: 50},
+		{Name: "e-new", NsPerOp: 10}, // no baseline: reported, not gated
+	}
+	var buf bytes.Buffer
+	if err := macroGate(&buf, fresh, baseline, "base"); err != nil {
+		t.Fatalf("parity run failed the gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "geomean ×1.000") {
+		t.Errorf("missing geomean line: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "e-new") {
+		t.Errorf("new experiment not reported: %s", buf.String())
+	}
+
+	// One experiment 2× slower: geomean ≈ 1.26 — under the threshold.
+	fresh[0].NsPerOp = 200
+	buf.Reset()
+	if err := macroGate(&buf, fresh, baseline, "base"); err != nil {
+		t.Fatalf("single-experiment trade failed the gate: %v", err)
+	}
+
+	// Everything 1.4× slower: geomean 1.4 — the gate must fail.
+	for i := range fresh {
+		fresh[i].NsPerOp *= 1.4
+	}
+	fresh[0].NsPerOp = 140
+	buf.Reset()
+	if err := macroGate(&buf, fresh, baseline, "base"); err == nil {
+		t.Fatalf("broad 1.4× regression passed the gate:\n%s", buf.String())
+	}
+
+	if err := macroGate(&buf, fresh, baseline, "no-such-label"); err == nil {
+		t.Error("missing baseline label should error")
 	}
 }

@@ -2,9 +2,10 @@
 // configurable clients, scheduler, interface policy and duration. A single
 // seed prints the detailed per-client power/QoS report (and optionally the
 // schedule); with -seeds N > 1 the scenario runs on the scenario engine's
-// Runner across N consecutive seeds and reports each metric as mean ±
-// 95% CI. The pool size defaults to runtime.NumCPU(); override with
-// -parallel N (the output is identical for any pool size).
+// Runner across N consecutive seeds — on the backend selected by -backend
+// (in-process pool, worker subprocesses, or the on-disk result cache) —
+// and reports each metric as mean ± 95% CI. The output is identical for
+// any backend and pool size.
 //
 // Example:
 //
@@ -87,9 +88,56 @@ func main() {
 		return h, rep
 	}
 
+	// The ad-hoc spec wraps the configured scenario so the generic Runner —
+	// and shard workers rebuilding it from the same command line — can run
+	// it by name. Params pins every flag that shapes the result, keying the
+	// result cache to the exact configuration.
+	spec := scenario.Spec{
+		Name: "hotspot",
+		Desc: fmt.Sprintf("%d clients, %s/%s, epoch %.0fs", *nClients, *schedName, *polName, *epoch),
+		Tags: []string{"hotspot"},
+		Params: fmt.Sprintf("clients=%d scheduler=%s policy=%s epoch=%g duration=%g outage=%g outage-len=%g",
+			*nClients, *schedName, *polName, *epoch, *duration, *outageAt, *outageLen),
+		Run: func(s int64) scenario.Result {
+			h, rep := runOne(s)
+			switches := 0
+			for _, c := range h.RM().Clients() {
+				switches += c.Switches()
+			}
+			return scenario.Result{Name: "hotspot", Values: map[string]float64{
+				"meanW":     rep.MeanPowerW,
+				"underruns": float64(rep.TotalUnderruns),
+				"stallS":    rep.TotalStall.Seconds(),
+				"urgents":   float64(h.RM().Urgents()),
+				"switches":  float64(switches),
+				"slots":     float64(len(rep.Slots)),
+			}}
+		},
+	}
+
+	if rf.Worker {
+		if err := rf.ServeWorker(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "hotspotsim: worker: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
 	if rf.SeedsN <= 1 {
-		// The single-seed path bypasses the Runner for its detailed report,
-		// so bracket it with the profile hooks directly.
+		// The single-seed path bypasses the Runner (and therefore the
+		// execution backends) for its detailed report. Still validate the
+		// backend selection so a typo'd -backend fails here exactly like it
+		// does in every other command, and refuse the non-default backends
+		// outright rather than silently computing without them.
+		if rf.Backend != "" && rf.Backend != "local" {
+			if _, err := rf.Executor(); err != nil {
+				fmt.Fprintf(os.Stderr, "hotspotsim: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "hotspotsim: -backend %s applies to multi-seed runs; the single-seed report always runs locally (use -seeds N > 1)\n", rf.Backend)
+			os.Exit(2)
+		}
+		// Bracket the direct run with the profile hooks.
 		stop, err := rf.StartProfiles()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hotspotsim: %v\n", err)
@@ -117,28 +165,8 @@ func main() {
 		return
 	}
 
-	// Multi-seed: wrap the configured scenario as an ad-hoc spec and let
-	// the Runner fan (seed) jobs across the pool and aggregate the CI.
-	spec := scenario.Spec{
-		Name: "hotspot",
-		Desc: fmt.Sprintf("%d clients, %s/%s, epoch %.0fs", *nClients, *schedName, *polName, *epoch),
-		Tags: []string{"hotspot"},
-		Run: func(s int64) scenario.Result {
-			h, rep := runOne(s)
-			switches := 0
-			for _, c := range h.RM().Clients() {
-				switches += c.Switches()
-			}
-			return scenario.Result{Name: "hotspot", Values: map[string]float64{
-				"meanW":     rep.MeanPowerW,
-				"underruns": float64(rep.TotalUnderruns),
-				"stallS":    rep.TotalStall.Seconds(),
-				"urgents":   float64(h.RM().Urgents()),
-				"switches":  float64(switches),
-				"slots":     float64(len(rep.Slots)),
-			}}
-		},
-	}
+	// Multi-seed: the Runner fans (seed) jobs across the selected backend
+	// and aggregates the CI.
 	aggs, err := rf.Run([]scenario.Spec{spec}, false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hotspotsim: %v\n", err)

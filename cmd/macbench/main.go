@@ -2,12 +2,14 @@
 // paper's Section 1 survey — CAM (plain DCF), 802.11 PSM and EC-MAC — on a
 // configurable downlink load. The sweep runs on the scenario engine's
 // Runner: with -seeds N each protocol is measured across N consecutive
-// seeds on a worker pool sized by -parallel (default runtime.NumCPU();
-// results are identical for any pool size) and reported as mean ± 95% CI.
+// seeds on the backend selected by -backend (in-process pool, worker
+// subprocesses, or the on-disk result cache — results are identical for
+// any backend and pool size) and reported as mean ± 95% CI.
 //
 // Example:
 //
 //	macbench -stations 4 -rate 16 -duration 30 -seeds 8 -parallel 8
+//	macbench -stations 8 -seeds 64 -backend shard -workers 8
 package main
 
 import (
@@ -40,7 +42,21 @@ func main() {
 	interval := sim.FromSeconds(float64(chunk) / (*rateKBs * 1024))
 	dur := sim.FromSeconds(*duration)
 
+	// The specs close over the CLI parameters, so Params records them
+	// canonically: shard workers rebuild identical specs from the re-exec'd
+	// command line, and the result cache keys on the parameterization.
 	specs := protocolSpecs(*stationsN, chunk, interval, dur)
+	params := fmt.Sprintf("stations=%d rate=%g duration=%g", *stationsN, *rateKBs, *duration)
+	for i := range specs {
+		specs[i].Params = params
+	}
+	if rf.Worker {
+		if err := rf.ServeWorker(specs...); err != nil {
+			fmt.Fprintf(os.Stderr, "macbench: worker: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 	seeds := rf.Seeds()
 	aggs, err := rf.Run(specs, false)
 	if err != nil {

@@ -1,12 +1,13 @@
 // Package cli holds the flag-parsing and Runner-setup boilerplate shared
 // by the experiment frontends (figgen, macbench, hotspotsim), so the seed /
-// seeds / parallel / profiling conventions are declared once and cannot
-// drift between commands again.
+// seeds / backend / parallel / profiling conventions are declared once and
+// cannot drift between commands again.
 package cli
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -14,22 +15,34 @@ import (
 	"repro/internal/scenario"
 )
 
-// RunFlags is the shared frontend flag set: seeding, worker-pool sizing and
-// optional CPU/heap profiling of the run.
+// RunFlags is the shared frontend flag set: seeding, execution backend
+// selection, worker-pool sizing and optional CPU/heap profiling of the
+// run.
 type RunFlags struct {
-	Seed       int64
-	SeedsN     int
-	Parallel   int
+	Seed     int64
+	SeedsN   int
+	Parallel int
+
+	Backend  string // local | shard | cached
+	Workers  int    // shard: worker subprocess count
+	CacheDir string // cached: cache root directory
+	Worker   bool   // internal: this process is a shard worker
+
 	CPUProfile string
 	MemProfile string
 }
 
 // Register installs the shared flags on fs with the repository-wide
-// defaults (seed 1, one seed, NumCPU workers, no profiling).
+// defaults (seed 1, one seed, the in-process local backend with NumCPU
+// workers, no profiling).
 func (f *RunFlags) Register(fs *flag.FlagSet) {
 	fs.Int64Var(&f.Seed, "seed", 1, "base simulation seed")
 	fs.IntVar(&f.SeedsN, "seeds", 1, "number of consecutive seeds per experiment")
 	fs.IntVar(&f.Parallel, "parallel", runtime.NumCPU(), "worker pool size for (experiment × seed) jobs")
+	fs.StringVar(&f.Backend, "backend", "local", "execution backend: local | shard | cached (see EXPERIMENTS.md)")
+	fs.IntVar(&f.Workers, "workers", runtime.NumCPU(), "worker subprocess count for -backend shard")
+	fs.StringVar(&f.CacheDir, "cache-dir", ".repro-cache", "result cache directory for -backend cached")
+	fs.BoolVar(&f.Worker, "worker", false, "internal: serve as a shard worker over stdin/stdout")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile at the end of the run to this file")
 }
@@ -38,22 +51,67 @@ func (f *RunFlags) Register(fs *flag.FlagSet) {
 // seeds starting at Seed.
 func (f *RunFlags) Seeds() []int64 { return scenario.Seeds(f.Seed, f.SeedsN) }
 
-// Runner builds a scenario.Runner with the selected pool size.
-func (f *RunFlags) Runner(keepPerSeed bool) *scenario.Runner {
-	return &scenario.Runner{Parallel: f.Parallel, KeepPerSeed: keepPerSeed}
+// Executor builds the execution backend selected by -backend. The caller
+// owns the result; Run does the close-and-report bookkeeping, so frontends
+// normally never call this directly.
+func (f *RunFlags) Executor() (scenario.Executor, error) {
+	switch f.Backend {
+	case "", "local":
+		return &scenario.Local{Parallel: f.Parallel}, nil
+	case "shard":
+		return &scenario.Shard{Workers: f.Workers}, nil
+	case "cached":
+		return &scenario.Cache{Inner: &scenario.Local{Parallel: f.Parallel}, Dir: f.CacheDir}, nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want local, shard or cached)", f.Backend)
+	}
 }
 
-// Run executes specs across the selected seeds on a pool-sized Runner,
+// ServeWorker runs the shard worker protocol over this process's
+// stdin/stdout. Frontends call it (before doing anything else with their
+// parsed flags) when -worker is set; extra specs let commands that build
+// ad-hoc flag-parameterized specs make them resolvable by name.
+func (f *RunFlags) ServeWorker(extra ...scenario.Spec) error {
+	return scenario.ServeWorker(os.Stdin, os.Stdout, extra...)
+}
+
+// Runner builds a scenario.Runner on the given backend.
+func (f *RunFlags) Runner(exec scenario.Executor, keepPerSeed bool) *scenario.Runner {
+	return &scenario.Runner{Parallel: f.Parallel, KeepPerSeed: keepPerSeed, Executor: exec}
+}
+
+// Run executes specs across the selected seeds on the selected backend,
 // bracketed by any requested profiles — so hot-path profiling of any
 // registered experiment is one command:
 //
 //	figgen -cpuprofile cpu.out -run e5 -seeds 32
+//
+// Backend resources (shard worker subprocesses) are released before Run
+// returns, and a caching backend reports its hit/miss line to stderr —
+// stdout stays parseable (-json) while CI can still assert on cache
+// effectiveness.
 func (f *RunFlags) Run(specs []scenario.Spec, keepPerSeed bool) ([]scenario.AggResult, error) {
+	exec, err := f.Executor()
+	if err != nil {
+		return nil, err
+	}
 	stop, err := f.StartProfiles()
 	if err != nil {
 		return nil, err
 	}
-	aggs := f.Runner(keepPerSeed).Run(specs, f.Seeds())
+	aggs, runErr := f.Runner(exec, keepPerSeed).Run(specs, f.Seeds())
+	if c, ok := exec.(io.Closer); ok {
+		if err := c.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if c, ok := exec.(*scenario.Cache); ok {
+		fmt.Fprintln(os.Stderr, c.Stats())
+	}
+	if runErr != nil {
+		stop()
+		return nil, runErr
+	}
 	return aggs, stop()
 }
 

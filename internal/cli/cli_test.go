@@ -2,8 +2,10 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/scenario"
@@ -28,9 +30,62 @@ func TestRegisterDefaults(t *testing.T) {
 	if f.Seed != 7 || f.SeedsN != 3 || f.Parallel != 2 {
 		t.Fatalf("parsed flags %+v", f)
 	}
+	if f.Backend != "local" || f.Workers < 1 || f.CacheDir != ".repro-cache" || f.Worker {
+		t.Fatalf("backend defaults wrong: %+v", f)
+	}
 	seeds := f.Seeds()
 	if len(seeds) != 3 || seeds[0] != 7 || seeds[2] != 9 {
 		t.Fatalf("Seeds() = %v, want [7 8 9]", seeds)
+	}
+}
+
+func TestBackendSelection(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var f RunFlags
+	f.Register(fs)
+	if err := fs.Parse([]string{"-backend", "shard", "-workers", "3", "-cache-dir", "/tmp/c", "-worker"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Backend != "shard" || f.Workers != 3 || f.CacheDir != "/tmp/c" || !f.Worker {
+		t.Fatalf("parsed flags %+v", f)
+	}
+
+	for backend, want := range map[string]any{
+		"":       &scenario.Local{},
+		"local":  &scenario.Local{},
+		"shard":  &scenario.Shard{},
+		"cached": &scenario.Cache{},
+	} {
+		g := RunFlags{Backend: backend, Parallel: 2, Workers: 2, CacheDir: t.TempDir()}
+		exec, err := g.Executor()
+		if err != nil {
+			t.Fatalf("backend %q: %v", backend, err)
+		}
+		if gotT, wantT := fmt.Sprintf("%T", exec), fmt.Sprintf("%T", want); gotT != wantT {
+			t.Errorf("backend %q built %s, want %s", backend, gotT, wantT)
+		}
+	}
+	if _, err := (&RunFlags{Backend: "quantum"}).Executor(); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestRunCachedBackendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := RunFlags{Seed: 1, SeedsN: 3, Parallel: 2, Backend: "cached", CacheDir: dir}
+	cold, err := f.Run([]scenario.Spec{testSpec()}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := f.Run([]scenario.Spec{testSpec()}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) != 1 || len(warm) != 1 {
+		t.Fatalf("aggregate shapes: %d / %d", len(cold), len(warm))
+	}
+	if !reflect.DeepEqual(cold[0].Metrics, warm[0].Metrics) {
+		t.Errorf("warm run diverged:\ncold %+v\nwarm %+v", cold[0].Metrics, warm[0].Metrics)
 	}
 }
 

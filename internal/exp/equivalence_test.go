@@ -1,0 +1,134 @@
+package exp_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// workerSentinel re-enters this test binary as a shard worker: the shard
+// executor spawns `exp.test -run-as-scenario-worker` and the worker
+// resolves experiments from the registry, which the exp import below
+// populated exactly as it does in the real binaries.
+const workerSentinel = "-run-as-scenario-worker"
+
+func TestMain(m *testing.M) {
+	for _, a := range os.Args[1:] {
+		if a == workerSentinel {
+			if err := scenario.ServeWorker(os.Stdin, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "worker:", err)
+				os.Exit(1)
+			}
+			os.Exit(0)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// TestCrossBackendEquivalence is the acceptance gate for the pluggable
+// execution backends: for every registered experiment, the local pool, the
+// multi-process shard backend (workers=2) and the caching backend (cold,
+// then warm from disk with an inner executor that must never run) produce
+// bit-identical merged Results — per-seed values, rendered tables, and
+// every aggregated metric.
+func TestCrossBackendEquivalence(t *testing.T) {
+	specs := scenario.All()
+	if len(specs) < 20 {
+		t.Fatalf("registry has only %d specs", len(specs))
+	}
+	seeds := scenario.Seeds(1, 2)
+
+	run := func(name string, exec scenario.Executor) []scenario.AggResult {
+		t.Helper()
+		r := &scenario.Runner{Parallel: runtime.NumCPU(), KeepPerSeed: true, Executor: exec}
+		aggs, err := r.Run(specs, seeds)
+		if err != nil {
+			t.Fatalf("%s backend: %v", name, err)
+		}
+		return aggs
+	}
+
+	local := run("local", nil)
+
+	sh := &scenario.Shard{Workers: 2, Argv: []string{os.Args[0], workerSentinel}}
+	sharded := run("shard", sh)
+	if err := sh.Close(); err != nil {
+		t.Fatalf("shard close: %v", err)
+	}
+
+	dir := t.TempDir()
+	coldCache := &scenario.Cache{Inner: &scenario.Local{Parallel: runtime.NumCPU()}, Dir: dir}
+	cold := run("cache-cold", coldCache)
+	if s := coldCache.Stats(); s.Hits != 0 || s.Misses != int64(len(specs)*len(seeds)) {
+		t.Errorf("cold cache stats %+v, want 0 hits / %d misses", s, len(specs)*len(seeds))
+	}
+	warmCache := &scenario.Cache{Inner: scenario.FailExecutor("cache missed on warm run"), Dir: dir}
+	warm := run("cache-warm", warmCache)
+	if s := warmCache.Stats(); s.Hits != int64(len(specs)*len(seeds)) || s.Misses != 0 {
+		t.Errorf("warm cache stats %+v, want all hits", s)
+	}
+
+	for name, aggs := range map[string][]scenario.AggResult{
+		"shard": sharded, "cache-cold": cold, "cache-warm": warm,
+	} {
+		requireAggsBitIdentical(t, name, local, aggs)
+	}
+}
+
+// requireAggsBitIdentical demands full bit-identity between two backend
+// runs: metric floats compare by bit pattern (reflect.DeepEqual would both
+// reject equal NaNs and accept -0 == +0).
+func requireAggsBitIdentical(t *testing.T, backend string, want, got []scenario.AggResult) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d aggregates, want %d", backend, len(got), len(want))
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		name := a.Spec.Name
+		if b.Spec.Name != name {
+			t.Fatalf("%s: aggregate %d is %q, want %q", backend, i, b.Spec.Name, name)
+		}
+		if len(a.Metrics) != len(b.Metrics) {
+			t.Errorf("%s/%s: %d metrics, want %d", backend, name, len(b.Metrics), len(a.Metrics))
+			continue
+		}
+		for j := range a.Metrics {
+			ma, mb := a.Metrics[j], b.Metrics[j]
+			if ma.Name != mb.Name || ma.N != mb.N ||
+				math.Float64bits(ma.Mean) != math.Float64bits(mb.Mean) ||
+				math.Float64bits(ma.CI95) != math.Float64bits(mb.CI95) ||
+				math.Float64bits(ma.Min) != math.Float64bits(mb.Min) ||
+				math.Float64bits(ma.Max) != math.Float64bits(mb.Max) {
+				t.Errorf("%s/%s: metric %s diverged: %+v vs %+v", backend, name, ma.Name, ma, mb)
+			}
+		}
+		if a.Table() != b.Table() {
+			t.Errorf("%s/%s: rendered aggregate tables not byte-identical", backend, name)
+		}
+		if len(a.PerSeed) != len(b.PerSeed) {
+			t.Errorf("%s/%s: %d per-seed results, want %d", backend, name, len(b.PerSeed), len(a.PerSeed))
+			continue
+		}
+		for k := range a.PerSeed {
+			pa, pb := a.PerSeed[k], b.PerSeed[k]
+			if pa.Name != pb.Name || pa.Table != pb.Table {
+				t.Errorf("%s/%s: seed %d name/table diverged", backend, name, a.Seeds[k])
+			}
+			if len(pa.Values) != len(pb.Values) {
+				t.Errorf("%s/%s: seed %d value sets differ", backend, name, a.Seeds[k])
+				continue
+			}
+			for key, va := range pa.Values {
+				vb, ok := pb.Values[key]
+				if !ok || math.Float64bits(va) != math.Float64bits(vb) {
+					t.Errorf("%s/%s: seed %d value %q: %v vs %v", backend, name, a.Seeds[k], key, va, vb)
+				}
+			}
+		}
+	}
+}

@@ -45,7 +45,7 @@ func TestGoldenSeed1BitIdentical(t *testing.T) {
 			continue
 		}
 		covered[doc.Experiment] = true
-		res := spec.Run(1)
+		res := spec.Execute(1)
 		if len(res.Values) != len(doc.Values) {
 			t.Errorf("%s: %d values, golden has %d", doc.Experiment, len(res.Values), len(doc.Values))
 		}

@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// The result codec. Results cross two boundaries that must not change a
+// single bit: the shard worker protocol (subprocess stdout → parent) and
+// the on-disk result cache (cold write → warm read). Ad-hoc JSON of the
+// Values map would be deterministic but lossy at the edges (NaN and ±Inf
+// do not survive encoding/json at all), so the wire form is explicit:
+// values are name-sorted and each float64 is carried as its exact bit
+// pattern, with a human-readable rendering alongside for people reading
+// cache files. Encoding the same Result twice yields identical bytes, and
+// decode(encode(r)) reproduces every float bit-for-bit — including NaN,
+// the infinities and signed zero. The only normalization is that an empty
+// Values map decodes as nil.
+
+// wireResult is the codec-stable form of a Result.
+type wireResult struct {
+	Name   string      `json:"name"`
+	Table  string      `json:"table"`
+	Values []wireValue `json:"values,omitempty"` // name-sorted
+}
+
+// wireValue is one key figure: Bits (hex of math.Float64bits) is the
+// authoritative value; Human is informational.
+type wireValue struct {
+	Name  string `json:"name"`
+	Bits  string `json:"bits"`
+	Human string `json:"human"`
+}
+
+// EncodeResult serializes a Result deterministically: identical Results
+// produce identical bytes.
+func EncodeResult(r Result) ([]byte, error) {
+	wr := wireResult{Name: r.Name, Table: r.Table}
+	names := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		v := r.Values[k]
+		wr.Values = append(wr.Values, wireValue{
+			Name:  k,
+			Bits:  fmt.Sprintf("%016x", math.Float64bits(v)),
+			Human: strconv.FormatFloat(v, 'g', -1, 64),
+		})
+	}
+	return json.Marshal(wr)
+}
+
+// DecodeResult reverses EncodeResult bit-exactly.
+func DecodeResult(data []byte) (Result, error) {
+	var wr wireResult
+	if err := json.Unmarshal(data, &wr); err != nil {
+		return Result{}, fmt.Errorf("result codec: %w", err)
+	}
+	res := Result{Name: wr.Name, Table: wr.Table}
+	if len(wr.Values) > 0 {
+		res.Values = make(map[string]float64, len(wr.Values))
+	}
+	for _, v := range wr.Values {
+		bits, err := strconv.ParseUint(v.Bits, 16, 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("result codec: value %q has bad bits %q: %v", v.Name, v.Bits, err)
+		}
+		res.Values[v.Name] = math.Float64frombits(bits)
+	}
+	return res, nil
+}
+
+// maxFrame bounds a protocol frame. A Result is a table string plus a few
+// dozen floats — far below this; a larger header means the stream is
+// corrupt (e.g. a worker wrote something other than protocol frames to
+// stdout), and failing fast beats allocating garbage.
+const maxFrame = 64 << 20
+
+// writeFrame emits v as one length-prefixed JSON frame: a 4-byte big-endian
+// payload length followed by the payload.
+func writeFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON frame into v. A clean EOF at a
+// frame boundary is returned as io.EOF; EOF inside a frame is
+// io.ErrUnexpectedEOF.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("protocol frame of %d bytes exceeds the %d-byte limit (corrupt stream?)", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+)
+
+// TestCodecRoundTripBitExact pins the codec contract the shard protocol
+// and result cache rely on: every float64 — including the values plain
+// JSON cannot carry — survives encode/decode with its exact bit pattern,
+// and tables round-trip byte-for-byte.
+func TestCodecRoundTripBitExact(t *testing.T) {
+	in := Result{
+		Name:  "codec",
+		Table: "line1\nµ ± ┌─┐ \"quoted\" \\backslash\ttab",
+		Values: map[string]float64{
+			"plain":   3.25,
+			"tiny":    5e-324, // smallest denormal
+			"huge":    math.MaxFloat64,
+			"negzero": math.Copysign(0, -1),
+			"posinf":  math.Inf(1),
+			"neginf":  math.Inf(-1),
+			"nan":     math.NaN(),
+			"pi":      math.Pi,
+		},
+	}
+	data, err := EncodeResult(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Table != in.Table {
+		t.Errorf("name/table changed: %+v", out)
+	}
+	if len(out.Values) != len(in.Values) {
+		t.Fatalf("value count %d, want %d", len(out.Values), len(in.Values))
+	}
+	for k, want := range in.Values {
+		got, ok := out.Values[k]
+		if !ok {
+			t.Errorf("value %q missing", k)
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("%s: bits %#x, want %#x", k, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+// TestCodecDeterministicBytes: equal Results must encode to identical
+// bytes (the cache compares freshness by file content identity across
+// processes, and map iteration order must not leak in).
+func TestCodecDeterministicBytes(t *testing.T) {
+	mk := func() Result {
+		return Result{Name: "d", Table: "t", Values: map[string]float64{
+			"a": 1, "b": 2, "c": 3, "d": 4, "e": 5, "f": 6, "g": 7, "h": 8,
+		}}
+	}
+	first, err := EncodeResult(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := EncodeResult(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("encoding not deterministic:\n%s\n%s", first, again)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeResult([]byte("not json")); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+	if _, err := DecodeResult([]byte(`{"name":"x","values":[{"name":"v","bits":"zz"}]}`)); err == nil {
+		t.Error("bad bit pattern accepted")
+	}
+}
+
+// TestFrameRoundTrip checks the length-prefixed framing, including clean
+// EOF at a boundary vs. truncation inside a frame.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	reqs := []workerRequest{{Spec: "a", Seed: 1}, {Spec: "b", Seed: -7}}
+	for _, r := range reqs {
+		if err := writeFrame(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := buf.Bytes()
+	r := bytes.NewReader(stream)
+	for i := range reqs {
+		var got workerRequest
+		if err := readFrame(r, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != reqs[i] {
+			t.Errorf("frame %d = %+v, want %+v", i, got, reqs[i])
+		}
+	}
+	var end workerRequest
+	if err := readFrame(r, &end); err != io.EOF {
+		t.Errorf("end of stream: %v, want io.EOF", err)
+	}
+	short := bytes.NewReader(stream[:len(stream)-3]) // second frame loses its tail
+	var trunc workerRequest
+	if err := readFrame(short, &trunc); err != nil {
+		t.Fatalf("intact first frame: %v", err)
+	}
+	if err := readFrame(short, &trunc); err == nil || err == io.EOF {
+		t.Errorf("truncated frame: %v, want unexpected-EOF error", err)
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if err := readFrame(bytes.NewReader(huge), &trunc); err == nil {
+		t.Error("oversized frame header accepted")
+	}
+}

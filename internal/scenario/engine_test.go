@@ -18,7 +18,7 @@ func TestRealCatalogueRegistered(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, s := range specs {
-		if s.Name == "" || s.Desc == "" || s.Run == nil {
+		if s.Name == "" || s.Desc == "" || !s.Runnable() {
 			t.Errorf("malformed spec %+v", s)
 		}
 		if seen[s.Name] {
@@ -39,8 +39,14 @@ func TestRealExperimentDeterministicAcrossParallelism(t *testing.T) {
 		t.Fatal("e17 not registered")
 	}
 	seeds := scenario.Seeds(1, 4)
-	seq := (&scenario.Runner{Parallel: 1}).Run([]scenario.Spec{spec}, seeds)
-	par := (&scenario.Runner{Parallel: 8}).Run([]scenario.Spec{spec}, seeds)
+	seq, err := (&scenario.Runner{Parallel: 1}).Run([]scenario.Spec{spec}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&scenario.Runner{Parallel: 8}).Run([]scenario.Spec{spec}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(seq[0].Metrics, par[0].Metrics) {
 		t.Errorf("e17 metrics differ between parallel 1 and 8:\n%v\n%v",
 			seq[0].Metrics, par[0].Metrics)

@@ -17,14 +17,21 @@ var (
 )
 
 // Register adds a spec to the global registry. Registering an empty name,
-// a nil run function or a duplicate name panics: these are programming
-// errors in the experiment catalogue, not runtime conditions.
+// a missing (or ambiguous) run function or a duplicate name panics: these
+// are programming errors in the experiment catalogue, not runtime
+// conditions.
 func Register(s Spec) {
 	if s.Name == "" {
 		panic("scenario: Register with empty name")
 	}
-	if s.Run == nil {
-		panic(fmt.Sprintf("scenario: Register %q with nil Run", s.Name))
+	if !s.Runnable() {
+		panic(fmt.Sprintf("scenario: Register %q with no run function", s.Name))
+	}
+	if s.Run != nil && s.RunTuned != nil {
+		panic(fmt.Sprintf("scenario: Register %q with both Run and RunTuned", s.Name))
+	}
+	if s.Run != nil && s.Tuning != nil {
+		panic(fmt.Sprintf("scenario: Register %q with Tuning but plain Run; only RunTuned receives a tuning", s.Name))
 	}
 	regMu.Lock()
 	defer regMu.Unlock()

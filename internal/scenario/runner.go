@@ -42,20 +42,20 @@ func (a AggResult) Table() string {
 	return t.String()
 }
 
-// Runner executes (experiment × seed) jobs on a bounded worker pool.
-// Parallel is the pool size (values < 1 mean 1).
+// Runner drives an Executor over a (specs × seeds) job matrix and
+// aggregates each experiment's metrics across seeds.
 //
 // Per-seed results are streamed into per-metric stats.Summary accumulators
-// the moment their seed-ordered turn comes up, then dropped — a sweep over
-// thousands of seeds holds only the out-of-order completions, not every
-// Result. Because each metric's accumulator always folds seeds in order,
-// Parallel only affects wall-clock time, never a single output bit. Set
+// as the backend emits them — and every backend emits in seed order, so
+// each metric's accumulator always folds seeds in order and the reported
+// digits are bit-identical whatever the backend or pool size. Set
 // KeepPerSeed to additionally retain the raw per-seed Results (the
 // single-seed table/JSON frontends need the lone Result; aggregate-only
 // callers should leave it off).
 type Runner struct {
 	Parallel    int
 	KeepPerSeed bool
+	Executor    Executor // nil means an in-process Local pool of size Parallel
 }
 
 // Seeds returns the canonical seed set used by the CLIs: n consecutive
@@ -71,20 +71,16 @@ func Seeds(base int64, n int) []int64 {
 	return out
 }
 
-// specAcc accumulates one experiment's results in seed order. pending
-// buffers completions that arrived ahead of their turn; next is the seed
-// index the accumulators are waiting for.
+// specAcc accumulates one experiment's seed-ordered result stream.
 type specAcc struct {
-	next    int
-	pending map[int]Result
 	sums    map[string]*stats.Summary
 	perSeed []Result // only when KeepPerSeed
 }
 
 // fold streams one seed's values into the per-metric accumulators. Each
-// metric's Add sequence is ordered by seed (fold is only called in seed
-// order), which is exactly the fold order the pre-streaming aggregate used —
-// the Welford state, and therefore every reported digit, is bit-identical.
+// metric's Add sequence is ordered by seed (executors emit in seed order),
+// which is exactly the fold order a sequential run uses — the Welford
+// state, and therefore every reported digit, is bit-identical.
 func (a *specAcc) fold(res Result) {
 	for k, v := range res.Values {
 		s := a.sums[k]
@@ -96,58 +92,43 @@ func (a *specAcc) fold(res Result) {
 	}
 }
 
-// Run executes every spec with every seed and aggregates each experiment's
-// metrics across seeds. The returned slice is ordered like specs.
-func (r *Runner) Run(specs []Spec, seeds []int64) []AggResult {
-	workers := r.Parallel
-	if workers < 1 {
-		workers = 1
+// Run executes every spec with every seed on the configured backend and
+// aggregates each experiment's metrics across seeds. The returned slice is
+// ordered like specs. Specs fan out concurrently (one backend Run call
+// each); the backend's shared capacity limit governs how much actually
+// runs at once.
+func (r *Runner) Run(specs []Spec, seeds []int64) ([]AggResult, error) {
+	exec := r.Executor
+	if exec == nil {
+		exec = &Local{Parallel: r.Parallel}
 	}
 
 	accs := make([]specAcc, len(specs))
-	for i := range accs {
-		accs[i] = specAcc{pending: make(map[int]Result), sums: make(map[string]*stats.Summary)}
-		if r.KeepPerSeed {
-			accs[i].perSeed = make([]Result, len(seeds))
-		}
-	}
-
-	type job struct{ si, ki int }
-	jobs := make(chan job)
-	var mu sync.Mutex
+	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				res := specs[j.si].Run(seeds[j.ki])
-				mu.Lock()
-				a := &accs[j.si]
-				if a.perSeed != nil {
-					a.perSeed[j.ki] = res
-				}
-				a.pending[j.ki] = res
-				for {
-					next, ok := a.pending[a.next]
-					if !ok {
-						break
-					}
-					delete(a.pending, a.next)
-					a.fold(next)
-					a.next++
-				}
-				mu.Unlock()
-			}
-		}()
-	}
 	for si := range specs {
-		for ki := range seeds {
-			jobs <- job{si, ki}
+		accs[si] = specAcc{sums: make(map[string]*stats.Summary)}
+		if r.KeepPerSeed {
+			accs[si].perSeed = make([]Result, len(seeds))
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			a := &accs[si]
+			errs[si] = exec.Run(specs[si], seeds, func(ki int, res Result) {
+				if a.perSeed != nil {
+					a.perSeed[ki] = res
+				}
+				a.fold(res)
+			})
+		}(si)
+	}
+	wg.Wait()
+	for si, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %s: %w", specs[si].Name, err)
 		}
 	}
-	close(jobs)
-	wg.Wait()
 
 	out := make([]AggResult, len(specs))
 	for si, spec := range specs {
@@ -158,7 +139,7 @@ func (r *Runner) Run(specs []Spec, seeds []int64) []AggResult {
 			Metrics: metrics(accs[si].sums),
 		}
 	}
-	return out
+	return out, nil
 }
 
 // metrics flattens the per-metric accumulators into name-sorted summaries.

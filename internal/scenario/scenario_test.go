@@ -3,10 +3,76 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"os"
 	"reflect"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/sim"
 )
+
+// Worker sentinels for the shard tests: the shard executor re-executes
+// this test binary with one of these as its sole argument. TestMain
+// intercepts them before the testing framework parses flags.
+const (
+	workerSentinel     = "-run-as-scenario-worker"
+	workerExitSentinel = "-run-as-scenario-worker-exit"
+)
+
+func TestMain(m *testing.M) {
+	// Registered up front so parent and worker processes share it.
+	Register(shardableSpec())
+	for _, a := range os.Args[1:] {
+		switch a {
+		case workerSentinel:
+			if err := ServeWorker(os.Stdin, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "worker:", err)
+				os.Exit(1)
+			}
+			os.Exit(0)
+		case workerExitSentinel: // simulates a worker that dies immediately
+			os.Exit(0)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// shardableSpec is a registered deterministic spec cheap enough to fan
+// across subprocesses in tests. It exercises the full float path,
+// including values JSON cannot carry (±Inf, NaN at seed 13).
+func shardableSpec() Spec {
+	return Spec{
+		Name: "test-shardable", Desc: "registered spec for shard tests",
+		Tags: []string{"synthetic"},
+		Run: func(seed int64) Result {
+			v := map[string]float64{
+				"seed":  float64(seed),
+				"root":  math.Sqrt(float64(seed)),
+				"third": float64(seed) / 3,
+				"inf":   math.Inf(1),
+			}
+			if seed == 13 {
+				v["nan"] = math.NaN()
+			}
+			return Result{
+				Name:   "test-shardable",
+				Table:  fmt.Sprintf("shardable seed=%d\n±µ┌─┐", seed),
+				Values: v,
+			}
+		},
+	}
+}
+
+// mustRun fails the test on a backend error — most tests exercise the
+// aggregate, not the error path.
+func mustRun(t *testing.T, r *Runner, specs []Spec, seeds []int64) []AggResult {
+	t.Helper()
+	aggs, err := r.Run(specs, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return aggs
+}
 
 // syntheticSpec builds a cheap deterministic spec whose metrics are simple
 // functions of the seed, so aggregation is verifiable in closed form.
@@ -43,6 +109,17 @@ func TestRegisterRejectsBadSpecs(t *testing.T) {
 	}
 	mustPanic("empty name", Spec{Run: func(int64) Result { return Result{} }})
 	mustPanic("nil run", Spec{Name: "test-nil-run"})
+	mustPanic("both run forms", Spec{
+		Name:     "test-both-runs",
+		Run:      func(int64) Result { return Result{} },
+		RunTuned: func(int64, sim.Tuning) Result { return Result{} },
+	})
+	tun := sim.DefaultTuning()
+	mustPanic("tuning without RunTuned", Spec{
+		Name:   "test-tuning-plain-run",
+		Run:    func(int64) Result { return Result{} },
+		Tuning: &tun,
+	})
 
 	Register(syntheticSpec("test-dup", nil))
 	mustPanic("duplicate", syntheticSpec("test-dup", nil))
@@ -81,7 +158,7 @@ func TestRunnerAggregatesAcrossSeeds(t *testing.T) {
 	spec := syntheticSpec("test-agg", &calls)
 	seeds := []int64{1, 2, 3, 4, 5}
 	r := &Runner{Parallel: 2, KeepPerSeed: true}
-	aggs := r.Run([]Spec{spec}, seeds)
+	aggs := mustRun(t, r, []Spec{spec}, seeds)
 	if len(aggs) != 1 {
 		t.Fatalf("got %d aggregates", len(aggs))
 	}
@@ -117,7 +194,7 @@ func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
 	var base []AggResult
 	for _, parallel := range []int{1, 2, 8, 0 /* clamps to 1 */} {
 		r := &Runner{Parallel: parallel}
-		got := r.Run(specs, seeds)
+		got := mustRun(t, r, specs, seeds)
 		if base == nil {
 			base = got
 			continue
@@ -131,7 +208,7 @@ func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
 		tables = append(tables, a.Table())
 	}
 	r := &Runner{Parallel: 8}
-	for i, a := range r.Run(specs, seeds) {
+	for i, a := range mustRun(t, r, specs, seeds) {
 		if a.Table() != tables[i] {
 			t.Errorf("rendered table for %s not byte-identical across runs", a.Spec.Name)
 		}
@@ -162,11 +239,11 @@ func aggEqual(a, b []AggResult) bool {
 func TestRunnerStreamsByDefault(t *testing.T) {
 	spec := syntheticSpec("test-stream", nil)
 	seeds := Seeds(1, 16)
-	lean := (&Runner{Parallel: 4}).Run([]Spec{spec}, seeds)[0]
+	lean := mustRun(t, &Runner{Parallel: 4}, []Spec{spec}, seeds)[0]
 	if lean.PerSeed != nil {
 		t.Errorf("streaming Runner retained %d per-seed results", len(lean.PerSeed))
 	}
-	full := (&Runner{Parallel: 4, KeepPerSeed: true}).Run([]Spec{spec}, seeds)[0]
+	full := mustRun(t, &Runner{Parallel: 4, KeepPerSeed: true}, []Spec{spec}, seeds)[0]
 	if len(full.PerSeed) != len(seeds) {
 		t.Errorf("KeepPerSeed retained %d results, want %d", len(full.PerSeed), len(seeds))
 	}
@@ -196,7 +273,7 @@ func TestMetricUnionAcrossSeeds(t *testing.T) {
 			return Result{Name: "test-union", Values: v}
 		},
 	}
-	a := (&Runner{Parallel: 3}).Run([]Spec{spec}, []int64{1, 2, 3, 4})[0]
+	a := mustRun(t, &Runner{Parallel: 3}, []Spec{spec}, []int64{1, 2, 3, 4})[0]
 	if len(a.Metrics) != 2 {
 		t.Fatalf("want 2 metrics, got %+v", a.Metrics)
 	}

@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sync"
+)
+
+// Shard executes seeds on a pool of worker subprocesses, each the current
+// binary re-executed with the hidden -worker flag (plus the original
+// command line, so workers rebuild any flag-parameterized specs
+// identically) speaking the length-prefixed JSON protocol in worker.go.
+//
+// The pool starts lazily on the first Run and is shared across concurrent
+// Run calls, so a Runner fanning the whole registry over one Shard keeps
+// exactly Workers subprocesses busy. Results are reordered into seed order
+// before emission, so the aggregate is bit-identical to the Local
+// backend's. Close shuts the workers down; callers that finished running
+// should Close to reap the subprocesses.
+type Shard struct {
+	Workers int      // subprocess count; values < 1 mean runtime.NumCPU()
+	Argv    []string // worker command; nil means {os.Executable(), "-worker", os.Args[1:]...}
+
+	once     sync.Once
+	startErr error
+	jobs     chan shardJob
+	wg       sync.WaitGroup
+}
+
+// shardJob is one (spec, seed) request with its reply route. ki travels
+// with the job so replies can arrive on one shared channel per Run call.
+type shardJob struct {
+	spec  string
+	seed  int64
+	ki    int
+	reply chan<- shardReply
+}
+
+type shardReply struct {
+	ki  int
+	res Result
+	err error
+}
+
+// workerArgv builds the default worker command line. The -worker flag goes
+// immediately after the program name — before any positional arguments —
+// so flag parsing in the child is guaranteed to see it.
+func workerArgv() ([]string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("shard: resolve executable: %w", err)
+	}
+	return append([]string{exe, "-worker"}, os.Args[1:]...), nil
+}
+
+func (s *Shard) start() {
+	argv := s.Argv
+	if argv == nil {
+		argv, s.startErr = workerArgv()
+		if s.startErr != nil {
+			return
+		}
+	}
+	n := s.Workers
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	s.jobs = make(chan shardJob)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err == nil {
+			var stdout io.ReadCloser
+			stdout, err = cmd.StdoutPipe()
+			if err == nil {
+				err = cmd.Start()
+				if err == nil {
+					s.wg.Add(1)
+					go s.serve(cmd, stdin, bufio.NewReader(stdout))
+					continue
+				}
+			}
+		}
+		s.startErr = fmt.Errorf("shard: start worker %d (%q): %w", i, argv[0], err)
+		break
+	}
+	if s.startErr != nil {
+		// Reap whatever did start so a failed start leaks nothing.
+		close(s.jobs)
+		s.wg.Wait()
+		s.jobs = nil
+	}
+}
+
+// serve owns one worker subprocess: it forwards jobs from the shared
+// channel and reads the matching responses. A worker that errors once is
+// dead for good — every later job it picks up fails immediately with the
+// original error, and the healthy workers absorb the rest of the queue.
+func (s *Shard) serve(cmd *exec.Cmd, in io.WriteCloser, out *bufio.Reader) {
+	defer s.wg.Done()
+	var dead error
+	for job := range s.jobs {
+		if dead != nil {
+			job.reply <- shardReply{ki: job.ki, err: dead}
+			continue
+		}
+		res, err := roundTrip(in, out, job)
+		if err != nil {
+			dead = err
+			job.reply <- shardReply{ki: job.ki, err: dead}
+			continue
+		}
+		job.reply <- shardReply{ki: job.ki, res: res}
+	}
+	in.Close()
+	cmd.Wait()
+}
+
+// roundTrip performs one request/response exchange with a worker.
+func roundTrip(in io.Writer, out *bufio.Reader, job shardJob) (Result, error) {
+	if err := writeFrame(in, workerRequest{Spec: job.spec, Seed: job.seed}); err != nil {
+		return Result{}, fmt.Errorf("shard: send %s seed %d: %w", job.spec, job.seed, err)
+	}
+	var resp workerResponse
+	if err := readFrame(out, &resp); err != nil {
+		return Result{}, fmt.Errorf("shard: worker died on %s seed %d: %w", job.spec, job.seed, err)
+	}
+	if resp.Err != "" {
+		return Result{}, fmt.Errorf("shard: worker: %s", resp.Err)
+	}
+	res, err := DecodeResult(resp.Result)
+	if err != nil {
+		return Result{}, fmt.Errorf("shard: %s seed %d: %w", job.spec, job.seed, err)
+	}
+	return res, nil
+}
+
+// Run fans the seeds across the worker pool and emits the Results in seed
+// order. Any worker failure fails the whole call — partial aggregates are
+// worse than loud errors.
+func (s *Shard) Run(spec Spec, seeds []int64, emit Emit) error {
+	s.once.Do(s.start)
+	if s.startErr != nil {
+		return s.startErr
+	}
+	if s.jobs == nil {
+		return errors.New("shard: executor is closed")
+	}
+	reply := make(chan shardReply, len(seeds))
+	go func() {
+		for ki, seed := range seeds {
+			s.jobs <- shardJob{spec: spec.Name, seed: seed, ki: ki, reply: reply}
+		}
+	}()
+	ord := newReorder(emit)
+	var firstErr error
+	for range seeds {
+		r := <-reply
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		if firstErr == nil {
+			ord.deliver(r.ki, r.res)
+		}
+	}
+	return firstErr
+}
+
+// Close shuts down the worker pool and waits for the subprocesses to
+// exit. It must not be called concurrently with Run.
+func (s *Shard) Close() error {
+	s.once.Do(func() {}) // a never-started Shard has nothing to reap
+	if s.jobs != nil {
+		close(s.jobs)
+		s.wg.Wait()
+		s.jobs = nil
+	}
+	return nil
+}
+
+// errExecutor is an Executor that always fails; the cache tests use it to
+// prove warm runs never reach the inner backend.
+type errExecutor struct{ err error }
+
+func (e errExecutor) Run(Spec, []int64, Emit) error { return e.err }
+
+// FailExecutor returns an Executor whose Run always returns an error with
+// the given message. It exists for tests that must prove a decorator never
+// delegates (e.g. a warm cache).
+func FailExecutor(msg string) Executor { return errExecutor{errors.New(msg)} }

@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestServeWorkerProtocol drives the worker loop over in-memory pipes —
+// no subprocess — checking request/response framing, extra-spec
+// precedence, unknown names and panic conversion.
+func TestServeWorkerProtocol(t *testing.T) {
+	extra := Spec{
+		Name: "test-extra", Desc: "extra",
+		Run: func(seed int64) Result {
+			if seed == 99 {
+				panic("boom")
+			}
+			return Result{Name: "extra", Table: "x", Values: map[string]float64{"v": float64(seed) * 2}}
+		},
+	}
+	var in, out bytes.Buffer
+	for _, req := range []workerRequest{
+		{Spec: "test-extra", Seed: 4},
+		{Spec: "test-shardable", Seed: 13},
+		{Spec: "test-no-such-spec", Seed: 1},
+		{Spec: "test-extra", Seed: 99},
+	} {
+		if err := writeFrame(&in, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ServeWorker(&in, &out, extra); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func() workerResponse {
+		t.Helper()
+		var resp workerResponse
+		if err := readFrame(&out, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	r := read()
+	res, err := DecodeResult(r.Result)
+	if err != nil || res.Values["v"] != 8 {
+		t.Errorf("extra spec: %+v / %v", res, err)
+	}
+	r = read()
+	if res, err = DecodeResult(r.Result); err != nil || !math.IsNaN(res.Values["nan"]) {
+		t.Errorf("registry spec seed 13: %+v / %v", res, err)
+	}
+	if r = read(); !strings.Contains(r.Err, "test-no-such-spec") {
+		t.Errorf("unknown spec error = %q", r.Err)
+	}
+	if r = read(); !strings.Contains(r.Err, "boom") {
+		t.Errorf("panic not converted to error: %q", r.Err)
+	}
+	var end workerResponse
+	if err := readFrame(&out, &end); err != io.EOF {
+		t.Errorf("worker wrote extra frames: %v", err)
+	}
+}
+
+// shardForTest returns a Shard whose workers are this test binary serving
+// ServeWorker (see TestMain).
+func shardForTest(workers int) *Shard {
+	return &Shard{Workers: workers, Argv: []string{os.Args[0], workerSentinel}}
+}
+
+// metricsEqualBits compares metric slices demanding bit-identical floats;
+// reflect.DeepEqual would reject identical NaNs.
+func metricsEqualBits(a, b []Metric) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].N != b[i].N ||
+			math.Float64bits(a[i].Mean) != math.Float64bits(b[i].Mean) ||
+			math.Float64bits(a[i].CI95) != math.Float64bits(b[i].CI95) ||
+			math.Float64bits(a[i].Min) != math.Float64bits(b[i].Min) ||
+			math.Float64bits(a[i].Max) != math.Float64bits(b[i].Max) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardMatchesLocal is the scenario-level equivalence check on a
+// registered synthetic spec: the subprocess backend must reproduce the
+// Local backend bit-for-bit, per seed and in aggregate, including the
+// NaN/Inf seeds the codec exists for.
+func TestShardMatchesLocal(t *testing.T) {
+	spec, ok := Lookup("test-shardable")
+	if !ok {
+		t.Fatal("test-shardable not registered")
+	}
+	seeds := Seeds(10, 8) // includes 13, the NaN seed
+
+	local := mustRun(t, &Runner{Parallel: 4, KeepPerSeed: true}, []Spec{spec}, seeds)
+	sh := shardForTest(2)
+	defer sh.Close()
+	sharded := mustRun(t, &Runner{KeepPerSeed: true, Executor: sh}, []Spec{spec}, seeds)
+
+	a, b := local[0], sharded[0]
+	if !metricsEqualBits(a.Metrics, b.Metrics) {
+		t.Errorf("metrics diverged:\nlocal %+v\nshard %+v", a.Metrics, b.Metrics)
+	}
+	for i := range a.PerSeed {
+		pa, pb := a.PerSeed[i], b.PerSeed[i]
+		if pa.Name != pb.Name || pa.Table != pb.Table {
+			t.Errorf("seed %d: name/table diverged", seeds[i])
+		}
+		if len(pa.Values) != len(pb.Values) {
+			t.Fatalf("seed %d: value sets differ", seeds[i])
+		}
+		for k := range pa.Values {
+			if math.Float64bits(pa.Values[k]) != math.Float64bits(pb.Values[k]) {
+				t.Errorf("seed %d %s: %#x vs %#x", seeds[i], k,
+					math.Float64bits(pa.Values[k]), math.Float64bits(pb.Values[k]))
+			}
+		}
+	}
+	if a.Table() != b.Table() {
+		t.Error("rendered aggregate tables not byte-identical")
+	}
+}
+
+// TestShardPoolSharedAcrossSpecs runs several specs concurrently through
+// one 2-worker Shard (the Runner fans specs out) — exercising the shared
+// job channel under contention.
+func TestShardPoolSharedAcrossSpecs(t *testing.T) {
+	spec, _ := Lookup("test-shardable")
+	// The same registered spec under several concurrent Run calls.
+	specs := []Spec{spec, spec, spec}
+	sh := shardForTest(2)
+	defer sh.Close()
+	aggs := mustRun(t, &Runner{Executor: sh}, specs, Seeds(1, 6))
+	for i, a := range aggs {
+		if len(a.Metrics) == 0 || a.Metrics[len(a.Metrics)-1].N != 6 {
+			t.Errorf("spec %d aggregate incomplete: %+v", i, a.Metrics)
+		}
+	}
+}
+
+func TestShardUnknownSpecFails(t *testing.T) {
+	sh := shardForTest(1)
+	defer sh.Close()
+	spec := Spec{Name: "test-not-registered-anywhere", Desc: "x",
+		Run: func(int64) Result { return Result{} }}
+	_, err := (&Runner{Executor: sh}).Run([]Spec{spec}, []int64{1})
+	if err == nil || !strings.Contains(err.Error(), "test-not-registered-anywhere") {
+		t.Errorf("unknown spec in worker should fail loudly, got %v", err)
+	}
+}
+
+func TestShardWorkerDeathFails(t *testing.T) {
+	sh := &Shard{Workers: 2, Argv: []string{os.Args[0], workerExitSentinel}}
+	defer sh.Close()
+	spec, _ := Lookup("test-shardable")
+	_, err := (&Runner{Executor: sh}).Run([]Spec{spec}, Seeds(1, 4))
+	if err == nil {
+		t.Fatal("dead workers should fail the run")
+	}
+}
+
+func TestShardBadBinaryFailsToStart(t *testing.T) {
+	sh := &Shard{Workers: 1, Argv: []string{"/no/such/binary/exists"}}
+	defer sh.Close()
+	spec, _ := Lookup("test-shardable")
+	if _, err := (&Runner{Executor: sh}).Run([]Spec{spec}, []int64{1}); err == nil {
+		t.Fatal("unstartable worker binary should fail the run")
+	}
+}

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// The code-version digest behind the result cache. A cached Result is only
+// reusable while the code that produced it is byte-for-byte the code that
+// would reproduce it, so the cache keys every entry under a digest of:
+//
+//   - the running executable's contents — the strongest signal: any code
+//     change relinks the binary (Go builds are content-addressed, so an
+//     unchanged tree keeps an identical binary across `go run`s);
+//   - the module build info (path, version, vcs.revision/vcs.modified when
+//     stamped) — a fallback signal for environments where the executable
+//     cannot be read back;
+//   - the registry fingerprint — names, descriptions, tags and params of
+//     every registered spec, so catalogue edits invalidate even if the
+//     binary hash is unavailable.
+//
+// The digest is computed once per process, at first use — after all
+// init-time registration, before any test-local registration could skew it.
+
+var (
+	codeVersionOnce sync.Once
+	codeVersion     string
+)
+
+// CodeVersion returns the hex digest identifying the running code.
+func CodeVersion() string {
+	codeVersionOnce.Do(func() {
+		h := sha256.New()
+		if exe, err := os.Executable(); err == nil {
+			if f, err := os.Open(exe); err == nil {
+				io.Copy(h, f)
+				f.Close()
+			}
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			fmt.Fprintf(h, "%s@%s\n", bi.Main.Path, bi.Main.Version)
+			for _, set := range bi.Settings {
+				if set.Key == "vcs.revision" || set.Key == "vcs.modified" {
+					fmt.Fprintf(h, "%s=%s\n", set.Key, set.Value)
+				}
+			}
+		}
+		io.WriteString(h, registryFingerprint())
+		codeVersion = hex.EncodeToString(h.Sum(nil))
+	})
+	return codeVersion
+}
+
+// registryFingerprint hashes the registered catalogue in registration
+// order.
+func registryFingerprint() string {
+	h := sha256.New()
+	for _, s := range All() {
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\n", s.Name, s.Desc, strings.Join(s.Tags, ","), s.Params)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The worker side of the shard protocol. A worker is the same binary as
+// the parent, re-executed with the hidden -worker flag: it parses the same
+// command line (so ad-hoc specs built from CLI parameters are
+// reconstructed identically), then serves (spec-name, seed) requests over
+// stdin/stdout as length-prefixed JSON frames until EOF. The protocol is
+// internal — both ends are always the same build, so there is no version
+// negotiation, and the code-version question is moot by construction.
+
+// workerRequest asks the worker to run one seed of one experiment,
+// resolved by name against the registry (plus any extra specs the serving
+// command supplied).
+type workerRequest struct {
+	Spec string `json:"spec"`
+	Seed int64  `json:"seed"`
+}
+
+// workerResponse carries the codec-encoded Result, or the error that
+// prevented one.
+type workerResponse struct {
+	Spec   string `json:"spec"`
+	Seed   int64  `json:"seed"`
+	Result []byte `json:"result,omitempty"` // EncodeResult bytes
+	Err    string `json:"err,omitempty"`
+}
+
+// ServeWorker runs the shard worker loop: read a request frame, resolve
+// the spec (extra specs take precedence over the registry, mirroring how
+// macbench/hotspotsim layer their flag-built specs over the catalogue),
+// execute the seed, write a response frame. It returns nil on clean EOF.
+//
+// Nothing but protocol frames may be written to w — a worker whose
+// experiments print to stdout would corrupt the stream — which holds
+// because experiments return rendered tables instead of printing them.
+func ServeWorker(r io.Reader, w io.Writer, extra ...Spec) error {
+	byName := make(map[string]Spec, len(extra))
+	for _, s := range extra {
+		byName[s.Name] = s
+	}
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	for {
+		var req workerRequest
+		if err := readFrame(br, &req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("worker: read request: %w", err)
+		}
+		resp := workerResponse{Spec: req.Spec, Seed: req.Seed}
+		spec, ok := byName[req.Spec]
+		if !ok {
+			spec, ok = Lookup(req.Spec)
+		}
+		switch {
+		case !ok:
+			resp.Err = fmt.Sprintf("unknown experiment %q", req.Spec)
+		default:
+			res, err := executeSafe(spec, req.Seed)
+			if err == nil {
+				resp.Result, err = EncodeResult(res)
+			}
+			if err != nil {
+				resp.Err = err.Error()
+			}
+		}
+		if err := writeFrame(bw, resp); err != nil {
+			return fmt.Errorf("worker: write response: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("worker: write response: %w", err)
+		}
+	}
+}
+
+// executeSafe converts a panicking experiment into a protocol error, so
+// the parent reports the real failure instead of an opaque broken pipe.
+func executeSafe(spec Spec, seed int64) (res Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%s seed %d panicked: %v", spec.Name, seed, p)
+		}
+	}()
+	return spec.Execute(seed), nil
+}
