@@ -16,7 +16,10 @@ package main
 // against a committed baseline entry: for the kernel suite, any allocating
 // steady-state benchmark fails the run and a >20% ns/op regression prints
 // a warning; for the macro suite, a >1.30× geometric-mean ns/op regression
-// across the experiments fails the run.
+// across the experiments fails the run. With a gate label set, the run also
+// prints the perf trajectory across every committed baseline (pr2 → pr3 →
+// pr4 → …), so each PR shows its place on the trend, not just its delta
+// against the latest baseline.
 
 import (
 	"encoding/json"
@@ -173,8 +176,63 @@ func runBenchJSON(w io.Writer, path, suite, label, gateLabel string, seed int64)
 			fmt.Sprintf("%d", r.N))
 	}
 	fmt.Fprintln(w, t)
+	if gateLabel != "" {
+		trendTable(w, suite, doc)
+	}
 	fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(doc.Entries))
 	return gateErr
+}
+
+// trendTable places every committed baseline — and the run just recorded —
+// on the suite's perf trajectory (pr2 → pr3 → pr4 → …): per entry, the
+// ns/op geometric-mean ratio against the previous entry and against the
+// first, over the benchmarks each pair shares. The gate enforces only the
+// chosen baseline; the trajectory shows whether a PR's "within gate" is a
+// plateau or a slow slide. Entries usually come from different machines, so
+// the ratios read as trends, not measurements.
+func trendTable(w io.Writer, suite string, doc benchFile) {
+	entries := doc.Entries
+	if len(entries) < 2 {
+		return
+	}
+	t := stats.NewTable(fmt.Sprintf("%s perf trajectory", suite),
+		"entry", "date", "benchmarks", "vs prev", "vs first")
+	for i, e := range entries {
+		vsPrev, vsFirst := "—", "—"
+		if i > 0 {
+			if g, n := geomeanRatio(entries[i-1].Benchmarks, e.Benchmarks); n > 0 {
+				vsPrev = fmt.Sprintf("×%.3f (%d shared)", g, n)
+			}
+			if g, n := geomeanRatio(entries[0].Benchmarks, e.Benchmarks); n > 0 {
+				vsFirst = fmt.Sprintf("×%.3f (%d shared)", g, n)
+			}
+		}
+		t.AddRow(e.Label, e.Date, fmt.Sprintf("%d", len(e.Benchmarks)), vsPrev, vsFirst)
+	}
+	fmt.Fprintln(w, t)
+}
+
+// geomeanRatio returns the geometric mean of cur/base ns/op ratios over the
+// benchmarks present in both, and how many were shared.
+func geomeanRatio(base, cur []benchResult) (float64, int) {
+	m := make(map[string]float64, len(base))
+	for _, b := range base {
+		if b.NsPerOp > 0 {
+			m[b.Name] = b.NsPerOp
+		}
+	}
+	var sumLog float64
+	n := 0
+	for _, r := range cur {
+		if b, ok := m[r.Name]; ok && r.NsPerOp > 0 {
+			sumLog += math.Log(r.NsPerOp / b)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Exp(sumLog / float64(n)), n
 }
 
 // gate enforces the kernel perf contract for a fresh suite run: zero

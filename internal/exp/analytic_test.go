@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestAnalyticAgreement asserts, for every spec carrying the [analytic]
+// tag, that the simulated aggregates in its Values agree with the recorded
+// closed-form expectations within the spec's own tolerance. The pairs are
+// matched by key convention: simX is checked against modelX, with tolPct
+// the allowed relative error in percent.
+func TestAnalyticAgreement(t *testing.T) {
+	specs := scenario.All()
+	ran := 0
+	for _, sp := range specs {
+		if !sp.HasTag("analytic") {
+			continue
+		}
+		sp := sp
+		ran++
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			res := sp.Execute(1)
+			tol, ok := res.Values["tolPct"]
+			if !ok || tol <= 0 {
+				t.Fatalf("[analytic] spec %s records no tolPct", sp.Name)
+			}
+			pairs := 0
+			for key, simV := range res.Values {
+				if len(key) < 4 || key[:3] != "sim" {
+					continue
+				}
+				modV, ok := res.Values["model"+key[3:]]
+				if !ok {
+					continue
+				}
+				pairs++
+				if modV == 0 {
+					t.Errorf("%s: closed form %s is zero", sp.Name, key)
+					continue
+				}
+				if e := math.Abs(simV-modV) / math.Abs(modV) * 100; e > tol {
+					t.Errorf("%s: %s=%g vs model %g: %.2f%% exceeds %.1f%%",
+						sp.Name, key, simV, modV, e, tol)
+				}
+			}
+			if pairs == 0 {
+				t.Fatalf("[analytic] spec %s records no sim/model value pairs", sp.Name)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no [analytic] specs registered")
+	}
+}

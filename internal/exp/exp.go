@@ -33,6 +33,7 @@ func init() {
 	all = append(all, surveyCatalogue()...)
 	all = append(all, hotspotCatalogue()...)
 	all = append(all, osCatalogue()...)
+	all = append(all, metroCatalogue()...)
 	sort.SliceStable(all, func(i, j int) bool {
 		ri, ni := catalogueRank(all[i].Name)
 		rj, nj := catalogueRank(all[j].Name)

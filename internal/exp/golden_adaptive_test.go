@@ -1,0 +1,68 @@
+package exp_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	_ "repro/internal/exp" // register the experiment catalogue
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// TestGoldenSeed1BitIdenticalUnderAdaptiveTuning re-runs every tunable
+// experiment with WheelMinPending forced to the adaptive mode (keeping the
+// spec's other tuning fields) and asserts the seed-1 values stay
+// bit-identical to the golden file. Adaptive routing decides only which
+// queue structure holds an event; pop order is enforced against all
+// structures, so the filter must be invisible to every experiment — dense
+// DCF contention and sparse aggregated metros alike.
+func TestGoldenSeed1BitIdenticalUnderAdaptiveTuning(t *testing.T) {
+	data, err := os.ReadFile("testdata/golden_seed1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []goldenDoc
+	if err := json.Unmarshal(data, &docs); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := map[string]map[string]float64{}
+	for _, doc := range docs {
+		golden[doc.Experiment] = doc.Values
+	}
+
+	ran := 0
+	for _, spec := range scenario.All() {
+		if spec.RunTuned == nil {
+			continue
+		}
+		want, ok := golden[spec.Name]
+		if !ok {
+			t.Errorf("tunable experiment %q not in golden file", spec.Name)
+			continue
+		}
+		ran++
+		tun := sim.DefaultTuning()
+		if spec.Tuning != nil {
+			tun = *spec.Tuning
+		}
+		tun.WheelMinPending = sim.WheelAdaptive
+		res := spec.RunTuned(1, tun)
+		for k, w := range want {
+			got, ok := res.Values[k]
+			if !ok {
+				t.Errorf("%s: value %q missing under adaptive tuning", spec.Name, k)
+				continue
+			}
+			if math.Float64bits(got) != math.Float64bits(w) {
+				t.Errorf("%s: adaptive tuning changed %s: %v (bits %#x), golden %v (bits %#x)",
+					spec.Name, k, got, math.Float64bits(got), w, math.Float64bits(w))
+			}
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no tunable experiments registered")
+	}
+}

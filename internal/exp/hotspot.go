@@ -82,6 +82,14 @@ func E13Schedulers(seed int64) Result {
 		"scheduler", "underruns", "stall (s)", "fairness (recv/weight)", "mean W")
 	vals := map[string]float64{}
 	const seeds = 5
+	// Heterogeneous client rates totalling 56 KB/s: feasible on a clean
+	// Bluetooth link, infeasible during the squeeze. Per-client state is
+	// kept as columns indexed by client id — one admission column and one
+	// received-per-weight column, reused across every scheduler × seed run —
+	// rather than per-run appended slices.
+	rates := []float64{64e3, 96e3, 128e3, 160e3}
+	clients := make([]*core.Client, len(rates))
+	perWeight := make([]float64, len(rates))
 	for _, sched := range []core.Scheduler{core.EDF{}, core.NewWFQ(), core.RoundRobin{}} {
 		var under, stall, fair, meanW stats.Summary
 		for k := int64(0); k < seeds; k++ {
@@ -96,14 +104,10 @@ func E13Schedulers(seed int64) Result {
 				chans[i] = ch
 			}
 			rm := core.NewResourceManager(s, cfg, chans)
-			// Heterogeneous rates totalling 56 KB/s: feasible on a clean
-			// Bluetooth link, infeasible during the squeeze.
-			rates := []float64{64e3, 96e3, 128e3, 160e3}
-			var clients []*core.Client
 			for i, r := range rates {
 				spec := core.DefaultClientSpec(i)
 				spec.Stream = qos.StreamSpec{RateBps: r, PrebufferBytes: int(r / 8 * 2), CapacityBytes: int(r / 8 * 40)}
-				clients = append(clients, rm.Admit(spec))
+				clients[i] = rm.Admit(spec)
 			}
 			// Degraded-but-usable BT for 25 s: inflation triples burst
 			// durations, cutting usable capacity below aggregate demand.
@@ -117,12 +121,11 @@ func E13Schedulers(seed int64) Result {
 			s.RunUntil(3 * sim.Minute)
 
 			u, st := 0, sim.Time(0)
-			var perWeight []float64
 			var w stats.Summary
 			for i, c := range clients {
 				u += c.Buffer().Underruns()
 				st += c.Buffer().StallTime()
-				perWeight = append(perWeight, float64(c.Buffer().ReceivedBytes())/rates[i])
+				perWeight[i] = float64(c.Buffer().ReceivedBytes()) / rates[i]
 				w.Add(c.AveragePower())
 			}
 			under.Add(float64(u))

@@ -51,6 +51,12 @@ func (s State) String() string {
 // States lists all modelled states in ascending power order.
 func States() []State { return []State{Off, Sleep, Idle, RX, TX} }
 
+// NumStates is the number of modelled power states, exported so other
+// packages can size per-state accounting arrays (struct-of-arrays
+// time-in-state ledgers and the like) without a map or a slice header per
+// station.
+const NumStates = int(numStates)
+
 // Transition describes the cost of moving between two power states.
 type Transition struct {
 	Latency sim.Time // time during which the WNIC is unusable

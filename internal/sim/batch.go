@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // Batch groups events that share a lifecycle — one station's contention
 // timers, one transfer's in-flight packets, one beacon cycle's wakeups — so
 // the owner can schedule them as a group and cancel whatever is still
@@ -67,11 +69,21 @@ func (b *Batch) Slot(slot int) Handle { return b.handles[slot] }
 // stays allocation-free even on first use.
 func (b *Batch) Reserve(n int) {
 	if free := cap(b.handles) - len(b.handles); free < n {
-		grown := make([]Handle, len(b.handles), len(b.handles)+n)
+		grown := make([]Handle, len(b.handles), nextPow2(len(b.handles)+n))
 		copy(grown, b.handles)
 		b.handles = grown
 	}
 	b.s.Reserve(n)
+}
+
+// nextPow2 rounds n up to the next power of two, so repeated small
+// reservations grow a slice geometrically — O(log n) copies total —
+// instead of copying the whole backing array on every call.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
 }
 
 // Reserve grows the event slab's spare capacity to at least n slots so a
@@ -80,10 +92,15 @@ func (b *Batch) Reserve(n int) {
 // simulator (one transfer per adaptive-ARQ epoch, say) are no-ops.
 // Callers that only need the capacity guarantee use this directly;
 // batches layer group membership on top.
+//
+// Capacity is rounded up to the next power of two: a model attaching many
+// small groups one at a time (metro-scale station churn, one Reserve per
+// association) performs O(log n) slab copies across its lifetime instead of
+// one full copy per Reserve.
 func (s *Simulator) Reserve(n int) {
 	need := n - s.nFree // append capacity needed beyond recycled slots
 	if need > 0 && cap(s.slab)-len(s.slab) < need {
-		grown := make([]event, len(s.slab), len(s.slab)+need)
+		grown := make([]event, len(s.slab), nextPow2(len(s.slab)+need))
 		copy(grown, s.slab)
 		s.slab = grown
 	}

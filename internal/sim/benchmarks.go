@@ -54,6 +54,16 @@ func KernelBenchmarks() []KernelBenchmark {
 			Doc:  "far-future events staged from the overflow heap as their tick arrives",
 			Run:  benchOverflowMigrate,
 		},
+		{
+			Name: "MetroDense",
+			Doc:  "metro mix under adaptive routing: a few aggregated streams, sparse queue",
+			Run:  benchMetroDense,
+		},
+		{
+			Name: "MetroChurn",
+			Doc:  "metro mix plus churn: a rearmed death timer alongside the streams",
+			Run:  benchMetroChurn,
+		},
 	}
 }
 
@@ -177,6 +187,66 @@ func benchOverflowMigrate(n int) {
 	for i := 0; i < 16; i++ {
 		s.Schedule(lead+Time(i), fn)
 	}
+	s.Run()
+}
+
+// benchMetroDense runs the metro-scale event mix: a handful of aggregated
+// processes (downlink streams, a beacon, a slow scan) instead of per-station
+// timers, under the adaptive WheelMinPending mode. The queue holds ~4
+// events, so the adaptive depth filter keeps everything off the wheel and
+// the kernel runs in its sparse heap regime — the shape 10⁵-station metro
+// scenarios put through it.
+func benchMetroDense(n int) {
+	tun := DefaultTuning()
+	tun.WheelMinPending = WheelAdaptive
+	s := NewTuned(1, tun)
+	fired := 0
+	gaps := [4]Time{37, 53, 811, 100_000} // two downlink streams, a scan, a beacon
+	var fns [4]func()
+	for i := range fns {
+		i := i
+		fns[i] = func() {
+			fired++
+			if fired < n {
+				s.Schedule(gaps[i], fns[i])
+			}
+		}
+	}
+	for i := range fns {
+		s.Schedule(gaps[i], fns[i])
+	}
+	s.Run()
+}
+
+// benchMetroChurn adds association churn to the metro mix: a join stream
+// that rearms an aggregated death timer on every event (the thinned-rate
+// update as the population shifts), alongside a downlink stream — the
+// schedule/cancel-heavy sparse pattern of a churning metro population.
+func benchMetroChurn(n int) {
+	tun := DefaultTuning()
+	tun.WheelMinPending = WheelAdaptive
+	s := NewTuned(1, tun)
+	fired := 0
+	death := NewTimer(s, func() {})
+	var join func()
+	join = func() {
+		fired++
+		death.Reset(Time(fired%977 + 200))
+		if fired < n {
+			s.Schedule(Time(fired%149+25), join)
+		}
+	}
+	var frames func()
+	frames = func() {
+		fired++
+		if fired < n {
+			s.Schedule(Time(fired%43+11), frames)
+		}
+	}
+	s.Schedule(25, join)
+	s.Schedule(11, frames)
+	s.Run()
+	death.Stop()
 	s.Run()
 }
 

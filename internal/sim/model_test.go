@@ -27,10 +27,12 @@ type modelEvent struct {
 func modelTunings() []Tuning {
 	return []Tuning{
 		DefaultTuning(),
-		{TickShift: 0, WheelBits: 2, CompactMinDead: 4},                             // constant rotation + overflow
-		{TickShift: 3, WheelBits: 4, CompactMinDead: 8},                             // coarse ticks, mid-run compaction
-		{TickShift: 5, WheelBits: 1, CompactMinDead: 64},                            // 2-bucket wheel
-		{TickShift: 0, WheelBits: 10, CompactMinDead: 64, WheelMinPending: 1 << 20}, // routing off: pure heap mode
+		{TickShift: 0, WheelBits: 2, CompactMinDead: 4},                                   // constant rotation + overflow
+		{TickShift: 3, WheelBits: 4, CompactMinDead: 8},                                   // coarse ticks, mid-run compaction
+		{TickShift: 5, WheelBits: 1, CompactMinDead: 64},                                  // 2-bucket wheel
+		{TickShift: 0, WheelBits: 10, CompactMinDead: 64, WheelMinPending: 1 << 20},       // routing off: pure heap mode
+		{TickShift: 0, WheelBits: 10, CompactMinDead: 64, WheelMinPending: WheelAdaptive}, // adaptive routing, default geometry
+		{TickShift: 3, WheelBits: 2, CompactMinDead: 4, WheelMinPending: WheelAdaptive},   // adaptive + constant rotation + compaction
 	}
 }
 
@@ -50,7 +52,7 @@ func modelTunings() []Tuning {
 func TestRandomInterleavingMatchesModel(t *testing.T) {
 	for _, tun := range modelTunings() {
 		tun := tun
-		name := fmt.Sprintf("shift%d_bits%d", tun.TickShift, tun.WheelBits)
+		name := fmt.Sprintf("shift%d_bits%d_mp%d", tun.TickShift, tun.WheelBits, tun.WheelMinPending)
 		t.Run(name, func(t *testing.T) {
 			span := int(1) << (tun.TickShift + tun.WheelBits)
 			for trial := 0; trial < 100; trial++ {

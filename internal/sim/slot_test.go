@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestEventSlotPacked pins the slab slot size: 32 bytes on 64-bit platforms
+// (two slots per cache line). The generation/state packing exists for this;
+// a field added carelessly would silently cost 25% more slab memory and
+// halve the slots per cache line at metro-scale populations.
+func TestEventSlotPacked(t *testing.T) {
+	if unsafe.Sizeof(uintptr(0)) != 8 {
+		t.Skip("slot size target is specified for 64-bit platforms")
+	}
+	if got := unsafe.Sizeof(event{}); got != 32 {
+		t.Fatalf("event slot is %d bytes, want 32", got)
+	}
+}
+
+// TestPackedGenerationState exercises the gs packing through a slot's
+// lifecycle: generations survive state flips, stale handles go inert, and
+// the state constants round-trip through the 2-bit field.
+func TestPackedGenerationState(t *testing.T) {
+	s := New(1)
+	nop := func() {}
+	h1 := s.Schedule(Microsecond, nop)
+	if !h1.Pending() {
+		t.Fatal("fresh handle not pending")
+	}
+	s.Cancel(h1)
+	if !h1.Cancelled() || h1.Pending() {
+		t.Fatal("cancelled handle misreports")
+	}
+	// Reuse the slot many times; each lease must invalidate prior handles.
+	prev := h1
+	for i := 0; i < 100; i++ {
+		h := s.Schedule(Microsecond, nop)
+		if h.idx == prev.idx && h.gen == prev.gen {
+			t.Fatalf("lease %d: generation not bumped on slot reuse", i)
+		}
+		if prev.Pending() || prev.Cancelled() {
+			t.Fatalf("lease %d: stale handle still answers", i)
+		}
+		s.Run()
+		if !h.lease().isFired() {
+			t.Fatalf("lease %d: fired state lost", i)
+		}
+		prev = h
+	}
+}
+
+// isFired is a test helper reading the packed state.
+func (e *event) isFired() bool { return e.state() == stateFired }
+
+// TestReserveGrowthPattern pins the power-of-two slab growth: n repeated
+// small reserves must trigger O(log n) reallocations, not one per call.
+// Before the rounding fix, 4096 Reserve(4)+drain cycles on a growing slab
+// copied the whole slab on every call — O(n²) bytes moved.
+func TestReserveGrowthPattern(t *testing.T) {
+	s := New(1)
+	nop := func() {}
+	caps := map[int]bool{}
+	const rounds = 4096
+	for i := 0; i < rounds; i++ {
+		s.Reserve(4)
+		caps[cap(s.slab)] = true
+		// Keep the slots occupied so the free list cannot satisfy the next
+		// reserve and the slab genuinely has to keep growing.
+		for j := 0; j < 4; j++ {
+			s.Schedule(Time(i*4+j+1), nop)
+		}
+	}
+	// Every observed capacity must be a power of two, and there must be
+	// logarithmically few of them.
+	for c := range caps {
+		if c&(c-1) != 0 {
+			t.Errorf("slab capacity %d is not a power of two", c)
+		}
+	}
+	if len(caps) > 20 {
+		t.Errorf("%d distinct slab capacities over %d reserves; want O(log n)", len(caps), rounds)
+	}
+
+	// The batch handle list must grow the same way.
+	b := s.NewBatch(0)
+	bcaps := map[int]bool{}
+	for i := 0; i < rounds; i++ {
+		b.Reserve(1)
+		b.Schedule(Time(rounds*4+i+1), nop)
+		bcaps[cap(b.handles)] = true
+	}
+	for c := range bcaps {
+		if c&(c-1) != 0 {
+			t.Errorf("batch capacity %d is not a power of two", c)
+		}
+	}
+	if len(bcaps) > 20 {
+		t.Errorf("%d distinct batch capacities over %d reserves; want O(log n)", len(bcaps), rounds)
+	}
+	s.Run()
+}
+
+// TestAdaptiveRoutingZeroAlloc extends the zero-allocation guarantee to the
+// adaptive WheelMinPending mode: the depth filter is pure integer state, so
+// adaptive routing must not cost a single allocation in steady state.
+func TestAdaptiveRoutingZeroAlloc(t *testing.T) {
+	tun := DefaultTuning()
+	tun.WheelMinPending = WheelAdaptive
+	s := NewTuned(1, tun)
+	nop := func() {}
+	for i := 0; i < 256; i++ {
+		s.Schedule(Time(i%13+1)*Microsecond, nop)
+	}
+	s.Run()
+	if a := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			s.Schedule(Time(i%13+1)*Microsecond, nop)
+		}
+		s.Run()
+	}); a != 0 {
+		t.Errorf("adaptive steady state allocates %v per op, want 0", a)
+	}
+}
+
+// TestAdaptiveEngagesWheelWhenDense checks the routing policy itself: a
+// sparse phase stays off the wheel (no bucket array allocated), a sustained
+// dense phase engages it. Policy only — order equivalence is covered by the
+// reference-model sweep in model_test.go.
+func TestAdaptiveEngagesWheelWhenDense(t *testing.T) {
+	tun := DefaultTuning()
+	tun.WheelMinPending = WheelAdaptive
+	s := NewTuned(1, tun)
+	nop := func() {}
+
+	// Sparse phase: one aggregated-process event in flight at a time, with
+	// occasional 4-deep bursts. The filter must stay below the threshold
+	// and the wheel must never materialize.
+	for i := 0; i < 500; i++ {
+		s.Schedule(Time(i%7+1)*Microsecond, nop)
+		if i%50 == 0 {
+			for j := 0; j < 4; j++ {
+				s.Schedule(Time(j+2)*Microsecond, nop)
+			}
+		}
+		s.RunUntil(s.Now() + 20*Microsecond)
+	}
+	if s.wheel != nil {
+		t.Fatal("sparse phase materialized the wheel")
+	}
+
+	// Dense phase: 64 chains pending at once, sustained. The filter must
+	// cross the threshold and route into buckets.
+	for i := 0; i < 64; i++ {
+		s.Schedule(Time(i%13+1)*Microsecond, nop)
+	}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 64; j++ {
+			s.Schedule(Time(j%13+1)*Microsecond, nop)
+		}
+		s.RunUntil(s.Now() + 5*Microsecond)
+	}
+	if s.wheel == nil {
+		t.Fatal("sustained dense phase did not engage the wheel")
+	}
+	s.Run()
+}
