@@ -9,21 +9,30 @@
 //
 //	figgen [-seed N] [-seeds N] [-parallel N] [-run REGEX] [-tags T1,T2]
 //	       [-backend local|shard|cached] [-workers N] [-cache-dir DIR]
+//	       [-max-retries N] [-chunk-timeout D] [-restart-backoff D]
+//	       [-degrade-local] [-chaos SCHEDULE]
 //	       [-json] [-list] [-cpuprofile FILE] [-memprofile FILE]
 //	       [-benchjson FILE [-benchgate LABEL]] [-macrojson FILE]
 //	       [-benchlabel L] [experiment ...]
 //
 // With no selection flags every experiment runs in order. All (experiment
 // × seed) jobs run on the backend selected by -backend: the in-process
-// pool sized by -parallel (default), -workers subprocesses speaking the
-// internal shard protocol, or the local pool behind the on-disk result
-// cache at -cache-dir (see EXPERIMENTS.md, "Execution backends"). The
-// output is identical for every backend and pool size, only the wall clock
-// changes. With -seeds N > 1 each selected experiment runs on N
-// consecutive seeds (base -seed) and figgen reports each metric's mean ±
-// 95% confidence interval. -cpuprofile/-memprofile bracket whatever the
-// command runs — so profiling the hot path of any registered experiment is
-// one command.
+// pool sized by -parallel (default), -workers supervised subprocesses
+// speaking the internal shard protocol, or the local pool behind the
+// on-disk result cache at -cache-dir (see EXPERIMENTS.md, "Execution
+// backends"). The output is identical for every backend and pool size,
+// only the wall clock changes — the shard backend retries, restarts and
+// degrades around worker failures (tunable via -max-retries,
+// -chunk-timeout, -restart-backoff and -degrade-local; fault injection
+// for testing via -chaos) without costing a single output bit (see
+// EXPERIMENTS.md, "Fault tolerance"). With -seeds N > 1 each selected
+// experiment runs on N consecutive seeds (base -seed) and figgen reports
+// each metric's mean ± 95% confidence interval. After the tables, table
+// mode appends the backend's run summary (shard worker health, cache
+// hit/miss/write-error counters); -json keeps stdout machine-parseable
+// and leaves the summary on stderr only. -cpuprofile/-memprofile bracket
+// whatever the command runs — so profiling the hot path of any registered
+// experiment is one command.
 //
 // -benchjson FILE runs the internal/sim kernel benchmark suite instead of
 // any experiments and upserts the results into FILE under -benchlabel;
@@ -156,7 +165,21 @@ func run(w io.Writer, o options) error {
 			fmt.Fprintln(w, agg.Table())
 		}
 	}
+	printRunSummary(w, o.rf.LastRun)
 	return nil
+}
+
+// printRunSummary appends the backend counters the run left behind —
+// shard worker health, cache hit/miss/write-error totals — after the
+// tables. The local backend keeps no counters, so single-process output
+// is byte-identical to previous releases.
+func printRunSummary(w io.Writer, s cli.RunSummary) {
+	if s.Shard != nil {
+		fmt.Fprintf(w, "--- run summary\n%s\n", s.Shard.Summary())
+	}
+	if s.Cache != nil {
+		fmt.Fprintf(w, "--- run summary\n%s\n", s.Cache)
+	}
 }
 
 // selectSpecs resolves the -run / -tags / positional-name selection.

@@ -3,9 +3,13 @@
 // seed prints the detailed per-client power/QoS report (and optionally the
 // schedule); with -seeds N > 1 the scenario runs on the scenario engine's
 // Runner across N consecutive seeds — on the backend selected by -backend
-// (in-process pool, worker subprocesses, or the on-disk result cache) —
+// (in-process pool, supervised worker subprocesses with
+// retry/restart/degrade fault tolerance, or the on-disk result cache) —
 // and reports each metric as mean ± 95% CI. The output is identical for
-// any backend and pool size.
+// any backend and pool size; shard supervision knobs (-max-retries,
+// -chunk-timeout, -restart-backoff, -degrade-local) and worker-health
+// reporting are shared with figgen (see EXPERIMENTS.md, "Fault
+// tolerance").
 //
 // Example:
 //

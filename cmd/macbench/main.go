@@ -2,9 +2,13 @@
 // paper's Section 1 survey — CAM (plain DCF), 802.11 PSM and EC-MAC — on a
 // configurable downlink load. The sweep runs on the scenario engine's
 // Runner: with -seeds N each protocol is measured across N consecutive
-// seeds on the backend selected by -backend (in-process pool, worker
-// subprocesses, or the on-disk result cache — results are identical for
-// any backend and pool size) and reported as mean ± 95% CI.
+// seeds on the backend selected by -backend (in-process pool, supervised
+// worker subprocesses with retry/restart/degrade fault tolerance — see
+// -max-retries, -chunk-timeout, -restart-backoff, -degrade-local and
+// EXPERIMENTS.md "Fault tolerance" — or the on-disk result cache; results
+// are identical for any backend and pool size) and reported as mean ±
+// 95% CI. The shard backend reports its worker-health counters on stderr
+// after the run.
 //
 // Example:
 //

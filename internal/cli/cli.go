@@ -11,13 +11,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/scenario"
 )
 
 // RunFlags is the shared frontend flag set: seeding, execution backend
-// selection, worker-pool sizing and optional CPU/heap profiling of the
-// run.
+// selection, worker-pool sizing, shard fault-tolerance knobs, and
+// optional CPU/heap profiling of the run.
 type RunFlags struct {
 	Seed     int64
 	SeedsN   int
@@ -28,14 +29,34 @@ type RunFlags struct {
 	CacheDir string // cached: cache root directory
 	Worker   bool   // internal: this process is a shard worker
 
+	// Shard supervision knobs (see scenario.FaultPolicy) and the
+	// fault-injection schedule exported to workers (see scenario.ParseChaos).
+	MaxRetries     int
+	ChunkTimeout   time.Duration
+	RestartBackoff time.Duration
+	DegradeLocal   bool
+	Chaos          string
+
 	CPUProfile string
 	MemProfile string
+
+	// LastRun is the summary of the most recent Run call: backend counters
+	// frontends print after their tables. Nil fields mean the backend keeps
+	// no such counters.
+	LastRun RunSummary
+}
+
+// RunSummary carries the structured counters a Run left behind.
+type RunSummary struct {
+	Cache *scenario.CacheStats  // cached backend: hit/miss/write-error counters
+	Shard *scenario.ShardHealth // shard backend: per-worker health + retry counters
 }
 
 // Register installs the shared flags on fs with the repository-wide
 // defaults (seed 1, one seed, the in-process local backend with NumCPU
-// workers, no profiling).
+// workers, the default fault policy, no chaos, no profiling).
 func (f *RunFlags) Register(fs *flag.FlagSet) {
+	def := scenario.DefaultFaultPolicy()
 	fs.Int64Var(&f.Seed, "seed", 1, "base simulation seed")
 	fs.IntVar(&f.SeedsN, "seeds", 1, "number of consecutive seeds per experiment")
 	fs.IntVar(&f.Parallel, "parallel", runtime.NumCPU(), "worker pool size for (experiment × seed) jobs")
@@ -43,6 +64,11 @@ func (f *RunFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.Workers, "workers", runtime.NumCPU(), "worker subprocess count for -backend shard")
 	fs.StringVar(&f.CacheDir, "cache-dir", ".repro-cache", "result cache directory for -backend cached")
 	fs.BoolVar(&f.Worker, "worker", false, "internal: serve as a shard worker over stdin/stdout")
+	fs.IntVar(&f.MaxRetries, "max-retries", def.MaxRetries, "shard: reassignments of a failed seed chunk before quarantine")
+	fs.DurationVar(&f.ChunkTimeout, "chunk-timeout", def.ChunkTimeout, "shard: deadline per leased seed chunk (0 disables)")
+	fs.DurationVar(&f.RestartBackoff, "restart-backoff", def.RestartBackoff, "shard: base worker restart backoff (exponential, jittered)")
+	fs.BoolVar(&f.DegradeLocal, "degrade-local", def.DegradeToLocal, "shard: run exhausted chunks in-process instead of failing the run")
+	fs.StringVar(&f.Chaos, "chaos", "", "shard: fault-injection schedule for workers, e.g. \"crash-after=2,gens=2\" (see EXPERIMENTS.md)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile at the end of the run to this file")
 }
@@ -55,16 +81,51 @@ func (f *RunFlags) Seeds() []int64 { return scenario.Seeds(f.Seed, f.SeedsN) }
 // owns the result; Run does the close-and-report bookkeeping, so frontends
 // normally never call this directly.
 func (f *RunFlags) Executor() (scenario.Executor, error) {
+	if f.Chaos != "" {
+		if f.Backend != "shard" {
+			return nil, fmt.Errorf("-chaos requires -backend shard (got %q)", f.Backend)
+		}
+		if _, err := scenario.ParseChaos(f.Chaos, 0); err != nil {
+			return nil, err
+		}
+	}
 	switch f.Backend {
 	case "", "local":
 		return &scenario.Local{Parallel: f.Parallel}, nil
 	case "shard":
-		return &scenario.Shard{Workers: f.Workers}, nil
+		return &scenario.Shard{
+			Workers: f.Workers,
+			Chaos:   f.Chaos,
+			Policy:  f.faultPolicy(),
+		}, nil
 	case "cached":
 		return &scenario.Cache{Inner: &scenario.Local{Parallel: f.Parallel}, Dir: f.CacheDir}, nil
 	default:
 		return nil, fmt.Errorf("unknown backend %q (want local, shard or cached)", f.Backend)
 	}
+}
+
+// faultPolicy maps the flag values onto a FaultPolicy. Flags are literal —
+// "-max-retries 0" means zero retries and "-chunk-timeout 0" means no
+// deadline — so zero flag values become the policy's explicit negative
+// "disabled" encoding rather than its zero-means-default one.
+func (f *RunFlags) faultPolicy() scenario.FaultPolicy {
+	p := scenario.FaultPolicy{
+		MaxRetries:     f.MaxRetries,
+		ChunkTimeout:   f.ChunkTimeout,
+		RestartBackoff: f.RestartBackoff,
+		DegradeToLocal: f.DegradeLocal,
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = -1
+	}
+	if p.ChunkTimeout == 0 {
+		p.ChunkTimeout = -1
+	}
+	if p.RestartBackoff == 0 {
+		p.RestartBackoff = -1
+	}
+	return p
 }
 
 // ServeWorker runs the shard worker protocol over this process's
@@ -87,9 +148,11 @@ func (f *RunFlags) Runner(exec scenario.Executor, keepPerSeed bool) *scenario.Ru
 //	figgen -cpuprofile cpu.out -run e5 -seeds 32
 //
 // Backend resources (shard worker subprocesses) are released before Run
-// returns, and a caching backend reports its hit/miss line to stderr —
-// stdout stays parseable (-json) while CI can still assert on cache
-// effectiveness.
+// returns, and backend counters are reported to stderr — a caching
+// backend's hit/miss/write-error line, a shard backend's supervision
+// health block — while stdout stays parseable (-json). The same counters
+// land in LastRun for frontends that print a run summary. CI asserts on
+// both.
 func (f *RunFlags) Run(specs []scenario.Spec, keepPerSeed bool) ([]scenario.AggResult, error) {
 	exec, err := f.Executor()
 	if err != nil {
@@ -105,8 +168,16 @@ func (f *RunFlags) Run(specs []scenario.Spec, keepPerSeed bool) ([]scenario.AggR
 			runErr = err
 		}
 	}
-	if c, ok := exec.(*scenario.Cache); ok {
-		fmt.Fprintln(os.Stderr, c.Stats())
+	f.LastRun = RunSummary{}
+	switch e := exec.(type) {
+	case *scenario.Cache:
+		stats := e.Stats()
+		f.LastRun.Cache = &stats
+		fmt.Fprintln(os.Stderr, stats)
+	case *scenario.Shard:
+		health := e.Health()
+		f.LastRun.Shard = &health
+		fmt.Fprintln(os.Stderr, health.Summary())
 	}
 	if runErr != nil {
 		stop()

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/scenario"
 )
@@ -33,9 +34,47 @@ func TestRegisterDefaults(t *testing.T) {
 	if f.Backend != "local" || f.Workers < 1 || f.CacheDir != ".repro-cache" || f.Worker {
 		t.Fatalf("backend defaults wrong: %+v", f)
 	}
+	def := scenario.DefaultFaultPolicy()
+	if f.MaxRetries != def.MaxRetries || f.ChunkTimeout != def.ChunkTimeout ||
+		f.RestartBackoff != def.RestartBackoff || f.DegradeLocal != def.DegradeToLocal || f.Chaos != "" {
+		t.Fatalf("fault-policy defaults wrong: %+v", f)
+	}
 	seeds := f.Seeds()
 	if len(seeds) != 3 || seeds[0] != 7 || seeds[2] != 9 {
 		t.Fatalf("Seeds() = %v, want [7 8 9]", seeds)
+	}
+}
+
+func TestChaosFlagValidation(t *testing.T) {
+	// -chaos needs the shard backend.
+	f := RunFlags{Backend: "local", Chaos: "crash-after=1"}
+	if _, err := f.Executor(); err == nil {
+		t.Error("-chaos with local backend accepted")
+	}
+	// A malformed schedule fails at Executor construction, not in a worker.
+	f = RunFlags{Backend: "shard", Workers: 1, Chaos: "no-such-key=1"}
+	if _, err := f.Executor(); err == nil {
+		t.Error("malformed -chaos schedule accepted")
+	}
+	f = RunFlags{Backend: "shard", Workers: 1, Chaos: "crash-after=1,gens=1"}
+	if _, err := f.Executor(); err != nil {
+		t.Errorf("valid -chaos schedule rejected: %v", err)
+	}
+}
+
+// TestFaultPolicyFlagsAreLiteral pins the flag→policy mapping: zero flag
+// values mean "disabled", not "use the default" (the policy's zero-means-
+// default convention is for programmatic construction only).
+func TestFaultPolicyFlagsAreLiteral(t *testing.T) {
+	f := RunFlags{MaxRetries: 0, ChunkTimeout: 0, RestartBackoff: 0, DegradeLocal: false}
+	p := f.faultPolicy()
+	if p.MaxRetries >= 0 || p.ChunkTimeout >= 0 || p.RestartBackoff >= 0 || p.DegradeToLocal {
+		t.Errorf("zero flags should map to the disabled encoding: %+v", p)
+	}
+	f = RunFlags{MaxRetries: 5, ChunkTimeout: time.Minute, RestartBackoff: time.Second, DegradeLocal: true}
+	p = f.faultPolicy()
+	if p.MaxRetries != 5 || p.ChunkTimeout != time.Minute || p.RestartBackoff != time.Second || !p.DegradeToLocal {
+		t.Errorf("non-zero flags should pass through: %+v", p)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/scenario"
 )
@@ -31,8 +32,11 @@ func TestMain(m *testing.M) {
 
 // TestCrossBackendEquivalence is the acceptance gate for the pluggable
 // execution backends: for every registered experiment, the local pool, the
-// multi-process shard backend (workers=2) and the caching backend (cold,
-// then warm from disk with an inner executor that must never run) produce
+// multi-process shard backend (workers=2, faults disabled — its health
+// counters must stay all-zero), a chaos-injected shard backend (worker
+// crashes, corrupt frames and mid-chunk hangs on schedule — retries and
+// restarts must not cost a single bit) and the caching backend (cold, then
+// warm from disk with an inner executor that must never run) produce
 // bit-identical merged Results — per-seed values, rendered tables, and
 // every aggregated metric.
 func TestCrossBackendEquivalence(t *testing.T) {
@@ -59,11 +63,45 @@ func TestCrossBackendEquivalence(t *testing.T) {
 	if err := sh.Close(); err != nil {
 		t.Fatalf("shard close: %v", err)
 	}
+	// With all faults disabled the supervision layer must be invisible:
+	// zero retries, restarts, failures and quarantines.
+	if h := sh.Health(); h.Failures() != 0 || h.Retries != 0 || h.Restarts() != 0 ||
+		h.Quarantined != 0 || h.DegradedSeeds != 0 {
+		t.Errorf("fault-free shard run tripped the supervisor: %s", h.Summary())
+	} else if h.Chunks() != int64(len(specs)*len(seeds)) {
+		t.Errorf("fault-free shard run completed %d chunks, want %d", h.Chunks(), len(specs)*len(seeds))
+	}
+
+	// Chaos-injected shard: each worker slot's first process crashes on its
+	// 3rd request, its second emits a corrupt frame, its third hangs until
+	// the chunk deadline reaps it, its fourth delays benignly, and later
+	// generations run clean. All three failure detectors fire; the results
+	// must still be bit-identical to Local.
+	chaosSh := &scenario.Shard{
+		Workers: 2,
+		Argv:    []string{os.Args[0], workerSentinel},
+		Chaos:   "gen0:crash-after=3;gen1:corrupt-after=2;gen2:hang-after=2;gen3:delay-every=5,delay-ms=2",
+		Policy: scenario.FaultPolicy{
+			MaxRetries:     3,
+			ChunkTimeout:   5 * time.Second,
+			RestartBackoff: 5 * time.Millisecond,
+			MaxBackoff:     50 * time.Millisecond,
+			DegradeToLocal: true,
+			ChunkSeeds:     2,
+		},
+	}
+	chaotic := run("shard-chaos", chaosSh)
+	if err := chaosSh.Close(); err != nil {
+		t.Fatalf("chaos shard close: %v", err)
+	}
+	if h := chaosSh.Health(); h.Failures() == 0 || h.Retries == 0 || h.Restarts() == 0 {
+		t.Errorf("chaos schedule injected no faults (test is vacuous): %s", h.Summary())
+	}
 
 	dir := t.TempDir()
 	coldCache := &scenario.Cache{Inner: &scenario.Local{Parallel: runtime.NumCPU()}, Dir: dir}
 	cold := run("cache-cold", coldCache)
-	if s := coldCache.Stats(); s.Hits != 0 || s.Misses != int64(len(specs)*len(seeds)) {
+	if s := coldCache.Stats(); s.Hits != 0 || s.Misses != int64(len(specs)*len(seeds)) || s.WriteErrs != 0 {
 		t.Errorf("cold cache stats %+v, want 0 hits / %d misses", s, len(specs)*len(seeds))
 	}
 	warmCache := &scenario.Cache{Inner: scenario.FailExecutor("cache missed on warm run"), Dir: dir}
@@ -73,7 +111,7 @@ func TestCrossBackendEquivalence(t *testing.T) {
 	}
 
 	for name, aggs := range map[string][]scenario.AggResult{
-		"shard": sharded, "cache-cold": cold, "cache-warm": warm,
+		"shard": sharded, "shard-chaos": chaotic, "cache-cold": cold, "cache-warm": warm,
 	} {
 		requireAggsBitIdentical(t, name, local, aggs)
 	}

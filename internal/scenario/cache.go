@@ -30,22 +30,24 @@ type Cache struct {
 	Inner Executor // backend that computes misses
 	Dir   string   // cache root
 
-	hits, misses atomic.Int64
+	hits, misses, writeErrs atomic.Int64
 }
 
-// CacheStats reports cache effectiveness for one process.
+// CacheStats reports cache effectiveness for one process. WriteErrs counts
+// entries that could not be written back — each one costs future hits, not
+// correctness, since the run used the freshly computed Result.
 type CacheStats struct {
-	Hits, Misses int64
-	Dir          string
+	Hits, Misses, WriteErrs int64
+	Dir                     string
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("cache: %d hits, %d misses (dir %s)", s.Hits, s.Misses, s.Dir)
+	return fmt.Sprintf("cache: %d hits, %d misses, %d write errors (dir %s)", s.Hits, s.Misses, s.WriteErrs, s.Dir)
 }
 
-// Stats returns the hit/miss counters accumulated so far.
+// Stats returns the hit/miss/write-error counters accumulated so far.
 func (c *Cache) Stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Dir: c.Dir}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), WriteErrs: c.writeErrs.Load(), Dir: c.Dir}
 }
 
 // Run serves every cached seed from disk, delegates only the misses to the
@@ -93,8 +95,11 @@ func (c *Cache) Run(spec Spec, seeds []int64, emit Emit) error {
 		var emitErr, storeErr error
 		err := c.Inner.Run(spec, missSeeds, func(mi int, res Result) {
 			c.misses.Add(1)
-			if err := store(seedPath(dir, missSeeds[mi]), res); err != nil && storeErr == nil {
-				storeErr = err
+			if err := store(seedPath(dir, missSeeds[mi]), res); err != nil {
+				c.writeErrs.Add(1)
+				if storeErr == nil {
+					storeErr = err
+				}
 			}
 			if emitErr != nil {
 				return

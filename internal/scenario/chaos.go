@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Chaos is the fault-injection configuration for a shard worker: the
+// testable half of the fault-tolerant fabric. A worker with an active
+// Chaos misbehaves on schedule — crashes after N frames, hangs mid-chunk,
+// emits a truncated or corrupt frame, or delays responses — so the
+// supervisor's three failure detectors and the retry/degrade machinery
+// can be exercised deterministically, in tests and from the CLI (-chaos).
+//
+// The configuration travels to workers via the REPRO_CHAOS environment
+// variable; the parent Shard also exports each worker's slot id and
+// process generation (REPRO_WORKER_ID / REPRO_WORKER_GEN), so a schedule
+// can target specific generations — e.g. "every worker's first process
+// crashes, its replacement runs clean", which is exactly the shape the
+// chaos-injected equivalence test uses.
+//
+// All frame counts are 1-based indices into the stream of requests one
+// worker process serves; zero disables that fault.
+type Chaos struct {
+	CrashAfter    int           // exit(3) when asked for request N, before responding
+	HangAfter     int           // sleep HangFor before responding to request N
+	HangFor       time.Duration // hang duration; defaults to an hour (the chunk deadline reaps the worker first)
+	CorruptAfter  int           // respond to request N with a well-framed garbage payload
+	TruncateAfter int           // respond to request N with a truncated frame, then exit(3)
+	DelayEvery    int           // sleep Delay before every Nth response
+	Delay         time.Duration // benign delay; defaults to 10ms
+	Gens          int           // apply faults only to worker generations < Gens; 0 means every generation
+}
+
+// active reports whether any fault is configured.
+func (c Chaos) active() bool {
+	return c.CrashAfter > 0 || c.HangAfter > 0 || c.CorruptAfter > 0 ||
+		c.TruncateAfter > 0 || c.DelayEvery > 0
+}
+
+// Environment variables of the shard worker protocol. The parent sets all
+// three on every worker it spawns; ServeWorker reads them.
+const (
+	chaosEnv     = "REPRO_CHAOS"      // fault-injection schedule (ParseChaos grammar)
+	workerIDEnv  = "REPRO_WORKER_ID"  // stable worker slot id, 0-based
+	workerGenEnv = "REPRO_WORKER_GEN" // process generation within the slot, 0-based
+)
+
+// ParseChaos parses a fault-injection schedule for a worker of the given
+// generation. Two grammars are accepted:
+//
+// A flat clause applies to every generation (optionally aged out by gens):
+//
+//	crash-after=3,gens=2
+//
+// A generation schedule is ";"-separated "genN:" clauses; the clause
+// matching the worker's generation applies and generations with no clause
+// run clean:
+//
+//	gen0:crash-after=3;gen1:corrupt-after=2;gen2:hang-after=1
+//
+// Keys: crash-after, hang-after, hang-ms, corrupt-after, trunc-after,
+// delay-every, delay-ms, gens. The empty spec is no chaos.
+func ParseChaos(spec string, gen int) (Chaos, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Chaos{}, nil
+	}
+	clause := spec
+	if strings.Contains(spec, ":") || strings.Contains(spec, ";") {
+		clause = ""
+		for _, part := range strings.Split(spec, ";") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			label, body, ok := strings.Cut(part, ":")
+			if !ok || !strings.HasPrefix(label, "gen") {
+				return Chaos{}, fmt.Errorf("chaos: clause %q is not \"genN:k=v,...\"", part)
+			}
+			n, err := strconv.Atoi(strings.TrimPrefix(label, "gen"))
+			if err != nil || n < 0 {
+				return Chaos{}, fmt.Errorf("chaos: bad generation label %q", label)
+			}
+			if n == gen {
+				clause = body
+			}
+		}
+		if clause == "" {
+			return Chaos{}, nil // this generation runs clean
+		}
+	}
+	c, err := parseChaosClause(clause)
+	if err != nil {
+		return Chaos{}, err
+	}
+	if c.Gens > 0 && gen >= c.Gens {
+		return Chaos{}, nil // faults aged out for this generation
+	}
+	return c, nil
+}
+
+func parseChaosClause(clause string) (Chaos, error) {
+	var c Chaos
+	hangMS, delayMS := -1, -1
+	for _, kv := range strings.Split(clause, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Chaos{}, fmt.Errorf("chaos: %q is not key=value", kv)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return Chaos{}, fmt.Errorf("chaos: %s=%q is not a non-negative integer", k, v)
+		}
+		switch k {
+		case "crash-after":
+			c.CrashAfter = n
+		case "hang-after":
+			c.HangAfter = n
+		case "hang-ms":
+			hangMS = n
+		case "corrupt-after":
+			c.CorruptAfter = n
+		case "trunc-after":
+			c.TruncateAfter = n
+		case "delay-every":
+			c.DelayEvery = n
+		case "delay-ms":
+			delayMS = n
+		case "gens":
+			c.Gens = n
+		default:
+			return Chaos{}, fmt.Errorf("chaos: unknown key %q", k)
+		}
+	}
+	c.HangFor = time.Hour
+	if hangMS >= 0 {
+		c.HangFor = time.Duration(hangMS) * time.Millisecond
+	}
+	c.Delay = 10 * time.Millisecond
+	if delayMS >= 0 {
+		c.Delay = time.Duration(delayMS) * time.Millisecond
+	}
+	return c, nil
+}
+
+// ChaosFromEnv builds the worker's fault-injection configuration from
+// REPRO_CHAOS and REPRO_WORKER_GEN. No environment means no chaos.
+func ChaosFromEnv() (Chaos, error) {
+	spec := os.Getenv(chaosEnv)
+	if spec == "" {
+		return Chaos{}, nil
+	}
+	gen, _ := strconv.Atoi(os.Getenv(workerGenEnv))
+	return ParseChaos(spec, gen)
+}

@@ -3,12 +3,21 @@ package scenario
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"strconv"
 )
+
+// ErrDecode marks stream-corruption failures: an oversized frame header,
+// a frame whose payload is not the expected JSON, or a Result whose
+// Float64bits hex does not parse. The shard supervisor classifies lease
+// failures wrapping ErrDecode as corrupt-frame faults (the worker is
+// killed and the chunk retried) rather than process deaths. It is never
+// returned for plain transport errors (EOF, broken pipe).
+var ErrDecode = errors.New("decode error")
 
 // The result codec. Results cross two boundaries that must not change a
 // single bit: the shard worker protocol (subprocess stdout → parent) and
@@ -61,7 +70,7 @@ func EncodeResult(r Result) ([]byte, error) {
 func DecodeResult(data []byte) (Result, error) {
 	var wr wireResult
 	if err := json.Unmarshal(data, &wr); err != nil {
-		return Result{}, fmt.Errorf("result codec: %w", err)
+		return Result{}, fmt.Errorf("result codec: %w: %v", ErrDecode, err)
 	}
 	res := Result{Name: wr.Name, Table: wr.Table}
 	if len(wr.Values) > 0 {
@@ -70,7 +79,7 @@ func DecodeResult(data []byte) (Result, error) {
 	for _, v := range wr.Values {
 		bits, err := strconv.ParseUint(v.Bits, 16, 64)
 		if err != nil {
-			return Result{}, fmt.Errorf("result codec: value %q has bad bits %q: %v", v.Name, v.Bits, err)
+			return Result{}, fmt.Errorf("result codec: %w: value %q has bad bits %q: %v", ErrDecode, v.Name, v.Bits, err)
 		}
 		res.Values[v.Name] = math.Float64frombits(bits)
 	}
@@ -109,7 +118,7 @@ func readFrame(r io.Reader, v any) error {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return fmt.Errorf("protocol frame of %d bytes exceeds the %d-byte limit (corrupt stream?)", n, maxFrame)
+		return fmt.Errorf("%w: protocol frame of %d bytes exceeds the %d-byte limit (corrupt stream?)", ErrDecode, n, maxFrame)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -118,5 +127,8 @@ func readFrame(r io.Reader, v any) error {
 		}
 		return err
 	}
-	return json.Unmarshal(buf, v)
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("%w: frame payload: %v", ErrDecode, err)
+	}
+	return nil
 }

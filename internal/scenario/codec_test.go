@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"math"
 	"testing"
@@ -82,6 +84,68 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	}
 	if _, err := DecodeResult([]byte(`{"name":"x","values":[{"name":"v","bits":"zz"}]}`)); err == nil {
 		t.Error("bad bit pattern accepted")
+	}
+}
+
+// TestDecodeErrorsAreLoudAndTotal pins the codec error contract the
+// supervisor's decode detector depends on: truncated frames, oversized
+// length prefixes and garbage-hex Float64bits all fail with an error the
+// caller can classify via errors.Is(err, ErrDecode) where the stream (not
+// the transport) is at fault — and the failed decode returns the zero
+// Result, never a partial one.
+func TestDecodeErrorsAreLoudAndTotal(t *testing.T) {
+	// Garbage-hex bits inside otherwise valid JSON: ErrDecode, zero Result
+	// even though the first value was decodable.
+	res, err := DecodeResult([]byte(`{"name":"x","table":"t","values":[` +
+		`{"name":"good","bits":"3ff0000000000000"},{"name":"bad","bits":"zz"}]}`))
+	if !errors.Is(err, ErrDecode) {
+		t.Errorf("garbage bits: err = %v, want ErrDecode", err)
+	}
+	if res.Name != "" || res.Table != "" || res.Values != nil {
+		t.Errorf("partial Result leaked from failed decode: %+v", res)
+	}
+
+	// Non-JSON payload: ErrDecode.
+	if res, err = DecodeResult([]byte("chaos! not json")); !errors.Is(err, ErrDecode) {
+		t.Errorf("non-JSON payload: err = %v, want ErrDecode", err)
+	} else if res.Name != "" || res.Table != "" || res.Values != nil {
+		t.Errorf("partial Result from non-JSON payload: %+v", res)
+	}
+
+	// Oversized length prefix: ErrDecode from the frame reader (the stream
+	// is corrupt, not merely closed).
+	var huge [4]byte
+	binary.BigEndian.PutUint32(huge[:], maxFrame+1)
+	var v workerResponse
+	if err := readFrame(bytes.NewReader(huge[:]), &v); !errors.Is(err, ErrDecode) {
+		t.Errorf("oversized prefix: err = %v, want ErrDecode", err)
+	}
+
+	// Well-framed garbage payload (what the chaos corrupt mode emits):
+	// ErrDecode from the frame reader.
+	var buf bytes.Buffer
+	payload := []byte("chaos! not json {{{")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	if err := readFrame(&buf, &v); !errors.Is(err, ErrDecode) {
+		t.Errorf("garbage payload: err = %v, want ErrDecode", err)
+	}
+
+	// Truncation inside a frame is a transport fault, not stream corruption:
+	// unexpected EOF, and NOT ErrDecode (the supervisor classifies it as a
+	// process death).
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], 1024)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	err = readFrame(&buf, &v)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated frame: err = %v, want unexpected EOF", err)
+	}
+	if errors.Is(err, ErrDecode) {
+		t.Error("truncated frame misclassified as stream corruption")
 	}
 }
 

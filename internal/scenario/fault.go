@@ -1,0 +1,211 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FaultPolicy configures the Shard executor's supervision layer: how many
+// times a failed (spec, seed-chunk) lease is reassigned, how long a worker
+// may hold a lease before it is declared hung, how worker restarts are
+// paced, and whether an exhausted chunk degrades to in-process execution
+// instead of failing the run.
+//
+// The zero value means DefaultFaultPolicy. In a partially filled policy,
+// zero counts/durations are replaced by their defaults and negative values
+// disable the knob (MaxRetries < 0: never reassign; ChunkTimeout < 0: no
+// deadline; RestartBackoff < 0: restart immediately); DegradeToLocal is
+// honoured as given. Retries are semantically free: every seed is
+// deterministic and Results cross the worker boundary bit-exactly, so a
+// recomputed chunk is indistinguishable from the first attempt.
+type FaultPolicy struct {
+	// MaxRetries is the number of times a failed chunk is reassigned to a
+	// (possibly restarted) worker after its first failed attempt. A chunk
+	// that fails 1+MaxRetries worker attempts is quarantined.
+	MaxRetries int
+	// ChunkTimeout bounds one lease: a worker that has not finished its
+	// chunk within the deadline is killed and the chunk fails as a timeout.
+	ChunkTimeout time.Duration
+	// RestartBackoff is the base delay before a failed worker slot takes
+	// its next lease; consecutive failures back off exponentially (capped
+	// by MaxBackoff) with jitter so a crashing fleet never restarts in
+	// lockstep.
+	RestartBackoff time.Duration
+	// MaxBackoff caps the exponential restart backoff.
+	MaxBackoff time.Duration
+	// DegradeToLocal runs a quarantined chunk in-process on the coordinator
+	// (the Local path every worker wraps anyway) instead of failing the
+	// run, so a run only errors once every path is exhausted.
+	DegradeToLocal bool
+	// ChunkSeeds is the number of consecutive seeds per lease.
+	ChunkSeeds int
+}
+
+// DefaultFaultPolicy returns the repository-wide supervision defaults:
+// three reassignments per chunk, a two-minute chunk deadline (every
+// registered experiment finishes a seed in well under a second), 100 ms
+// base restart backoff capped at 5 s, degradation to local execution
+// enabled, one seed per lease.
+func DefaultFaultPolicy() FaultPolicy {
+	return FaultPolicy{
+		MaxRetries:     3,
+		ChunkTimeout:   2 * time.Minute,
+		RestartBackoff: 100 * time.Millisecond,
+		MaxBackoff:     5 * time.Second,
+		DegradeToLocal: true,
+		ChunkSeeds:     1,
+	}
+}
+
+// normalized resolves the zero-value and partially-filled conventions
+// documented on FaultPolicy.
+func (p FaultPolicy) normalized() FaultPolicy {
+	def := DefaultFaultPolicy()
+	if p == (FaultPolicy{}) {
+		return def
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = def.MaxRetries
+	} else if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.ChunkTimeout == 0 {
+		p.ChunkTimeout = def.ChunkTimeout
+	} else if p.ChunkTimeout < 0 {
+		p.ChunkTimeout = 0
+	}
+	if p.RestartBackoff == 0 {
+		p.RestartBackoff = def.RestartBackoff
+	} else if p.RestartBackoff < 0 {
+		p.RestartBackoff = 0
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = def.MaxBackoff
+	}
+	if p.ChunkSeeds < 1 {
+		p.ChunkSeeds = def.ChunkSeeds
+	}
+	return p
+}
+
+// failKind classifies one failed lease attempt. The supervisor detects
+// worker failure three ways — process exit (or broken pipe), per-chunk
+// deadline timeout, and frame/result decode error — and failApp marks
+// worker-reported application errors (unknown spec, experiment panic)
+// that retrying a healthy fleet cannot fix.
+type failKind int
+
+const (
+	failExit    failKind = iota // process died / pipe broke mid-exchange
+	failSpawn                   // worker process could not be started
+	failTimeout                 // chunk deadline exceeded; worker killed
+	failDecode                  // corrupt frame or undecodable Result
+	failApp                     // worker-reported error; terminal, never retried
+)
+
+func (k failKind) String() string {
+	switch k {
+	case failExit:
+		return "exit"
+	case failSpawn:
+		return "spawn"
+	case failTimeout:
+		return "timeout"
+	case failDecode:
+		return "decode"
+	case failApp:
+		return "app"
+	}
+	return "unknown"
+}
+
+// WorkerHealth is one worker slot's counters. A slot keeps its id across
+// restarts — the [wN] stderr prefix and these counters describe the slot,
+// however many subprocesses have filled it.
+type WorkerHealth struct {
+	ID         int
+	Restarts   int64 // process starts beyond the slot's first
+	Chunks     int64 // leases completed
+	Seeds      int64 // seeds computed
+	SpawnFails int64 // failed process starts
+	Exits      int64 // leases failed by process exit / broken pipe
+	Timeouts   int64 // leases failed by chunk deadline
+	DecodeErrs int64 // leases failed by corrupt frames / undecodable Results
+}
+
+// Failures sums the slot's failed lease attempts across all detection
+// paths.
+func (w WorkerHealth) Failures() int64 {
+	return w.SpawnFails + w.Exits + w.Timeouts + w.DecodeErrs
+}
+
+func (w WorkerHealth) String() string {
+	return fmt.Sprintf("[w%d] restarts %d, chunks %d (%d seeds), failures %d (%d exit, %d spawn, %d timeout, %d decode)",
+		w.ID, w.Restarts, w.Chunks, w.Seeds, w.Failures(), w.Exits, w.SpawnFails, w.Timeouts, w.DecodeErrs)
+}
+
+// ShardHealth is a snapshot of the supervision counters for one Shard:
+// per-worker slot health plus the coordinator's retry/quarantine totals.
+// A fault-free run reports all zeros (the cross-backend equivalence test
+// pins exactly that).
+type ShardHealth struct {
+	Workers       []WorkerHealth
+	Retries       int64 // chunk reassignments after a failed attempt
+	Quarantined   int64 // chunks degraded to in-process execution
+	DegradedSeeds int64 // seeds computed in-process by quarantined chunks
+}
+
+// Failures sums failed lease attempts across every worker slot.
+func (h ShardHealth) Failures() int64 {
+	var n int64
+	for _, w := range h.Workers {
+		n += w.Failures()
+	}
+	return n
+}
+
+// Restarts sums worker restarts across every slot.
+func (h ShardHealth) Restarts() int64 {
+	var n int64
+	for _, w := range h.Workers {
+		n += w.Restarts
+	}
+	return n
+}
+
+// Chunks sums completed leases across every slot.
+func (h ShardHealth) Chunks() int64 {
+	var n int64
+	for _, w := range h.Workers {
+		n += w.Chunks
+	}
+	return n
+}
+
+// String renders the fleet-level line the CLIs report on stderr.
+func (h ShardHealth) String() string {
+	return fmt.Sprintf("shard: %d workers, %d chunks ok, %d failures, %d retries, %d restarts, %d quarantined (%d seeds degraded to local)",
+		len(h.Workers), h.Chunks(), h.Failures(), h.Retries, h.Restarts(), h.Quarantined, h.DegradedSeeds)
+}
+
+// WorkerLines renders one line per worker slot for run summaries.
+func (h ShardHealth) WorkerLines() []string {
+	out := make([]string, len(h.Workers))
+	for i, w := range h.Workers {
+		out[i] = w.String()
+	}
+	return out
+}
+
+// Summary renders the fleet line plus per-worker lines, for frontends
+// that print the full health block.
+func (h ShardHealth) Summary() string {
+	var b strings.Builder
+	b.WriteString(h.String())
+	for _, l := range h.WorkerLines() {
+		b.WriteString("\n  ")
+		b.WriteString(l)
+	}
+	return b.String()
+}

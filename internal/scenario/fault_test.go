@@ -1,0 +1,328 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseChaos(t *testing.T) {
+	c, err := ParseChaos("crash-after=3,delay-every=2,delay-ms=5,gens=2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CrashAfter != 3 || c.DelayEvery != 2 || c.Delay != 5*time.Millisecond || c.Gens != 2 {
+		t.Errorf("flat clause parsed wrong: %+v", c)
+	}
+	if !c.active() {
+		t.Error("configured chaos should be active")
+	}
+
+	// gens ages the faults out for later generations.
+	if c, _ = ParseChaos("crash-after=3,gens=2", 2); c.active() {
+		t.Errorf("gen 2 should run clean under gens=2, got %+v", c)
+	}
+	if c, _ = ParseChaos("crash-after=3,gens=2", 1); !c.active() {
+		t.Error("gen 1 should still be faulty under gens=2")
+	}
+
+	// Generation schedules pick the matching clause; unmatched gens run clean.
+	spec := "gen0:crash-after=1;gen1:corrupt-after=2,hang-ms=7"
+	if c, _ = ParseChaos(spec, 0); c.CrashAfter != 1 || c.CorruptAfter != 0 {
+		t.Errorf("gen 0 clause wrong: %+v", c)
+	}
+	if c, _ = ParseChaos(spec, 1); c.CorruptAfter != 2 || c.HangFor != 7*time.Millisecond || c.CrashAfter != 0 {
+		t.Errorf("gen 1 clause wrong: %+v", c)
+	}
+	if c, _ = ParseChaos(spec, 5); c.active() {
+		t.Errorf("unscheduled gen should run clean, got %+v", c)
+	}
+
+	// Defaults for the durations.
+	if c, _ = ParseChaos("hang-after=1", 0); c.HangFor != time.Hour {
+		t.Errorf("HangFor default = %v, want 1h", c.HangFor)
+	}
+	if c, _ = ParseChaos("delay-every=1", 0); c.Delay != 10*time.Millisecond {
+		t.Errorf("Delay default = %v, want 10ms", c.Delay)
+	}
+
+	// The empty spec is no chaos.
+	if c, err = ParseChaos("", 0); err != nil || c.active() {
+		t.Errorf("empty spec: %+v / %v", c, err)
+	}
+
+	for _, bad := range []string{
+		"crash-after",        // not key=value
+		"crash-after=x",      // not an integer
+		"crash-after=-1",     // negative
+		"no-such-key=1",      // unknown key
+		"gen:crash-after=1",  // bad generation label
+		"genx:crash-after=1", // bad generation label
+		"0:crash-after=1",    // clause without gen prefix
+		"gen0:crash-after",   // bad body inside a schedule
+	} {
+		if _, err := ParseChaos(bad, 0); err == nil {
+			t.Errorf("ParseChaos(%q) should fail", bad)
+		}
+	}
+}
+
+func TestChaosFromEnvRejectsBadSchedule(t *testing.T) {
+	t.Setenv(chaosEnv, "definitely not a schedule")
+	if _, err := ChaosFromEnv(); err == nil {
+		t.Fatal("malformed REPRO_CHAOS should be an error")
+	}
+	var in, out bytes.Buffer
+	if err := ServeWorker(&in, &out); err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Errorf("ServeWorker should refuse to start under a malformed schedule, got %v", err)
+	}
+}
+
+func TestFaultPolicyNormalize(t *testing.T) {
+	def := DefaultFaultPolicy()
+	if got := (FaultPolicy{}).normalized(); got != def {
+		t.Errorf("zero policy should normalize to the defaults: %+v", got)
+	}
+	// Partial: zero fields take defaults, negatives disable, DegradeToLocal
+	// is honoured as given.
+	p := FaultPolicy{MaxRetries: -1, ChunkTimeout: -1, RestartBackoff: -1, DegradeToLocal: true}.normalized()
+	if p.MaxRetries != 0 || p.ChunkTimeout != 0 || p.RestartBackoff != 0 {
+		t.Errorf("negatives should disable: %+v", p)
+	}
+	if p.MaxBackoff != def.MaxBackoff || p.ChunkSeeds != def.ChunkSeeds {
+		t.Errorf("unset fields should default: %+v", p)
+	}
+	p = FaultPolicy{MaxRetries: 7, DegradeToLocal: true}.normalized()
+	if p.MaxRetries != 7 || p.ChunkTimeout != def.ChunkTimeout || !p.DegradeToLocal {
+		t.Errorf("partial policy normalized wrong: %+v", p)
+	}
+}
+
+// chaosShard builds a Shard on the test-binary worker with the given
+// fault-injection schedule and test-speed supervision.
+func chaosShard(workers int, chaos string, mutate func(*FaultPolicy)) *Shard {
+	pol := fastPolicy()
+	if mutate != nil {
+		mutate(&pol)
+	}
+	return &Shard{
+		Workers: workers,
+		Argv:    []string{os.Args[0], workerSentinel},
+		Chaos:   chaos,
+		Policy:  pol,
+	}
+}
+
+// requireShardMatchesLocal runs the registered shardable spec on sh and on
+// the Local backend and demands bit-identical aggregates.
+func requireShardMatchesLocal(t *testing.T, sh *Shard, seeds []int64) {
+	t.Helper()
+	spec, ok := Lookup("test-shardable")
+	if !ok {
+		t.Fatal("test-shardable not registered")
+	}
+	local := mustRun(t, &Runner{Parallel: 4, KeepPerSeed: true}, []Spec{spec}, seeds)
+	sharded := mustRun(t, &Runner{KeepPerSeed: true, Executor: sh}, []Spec{spec}, seeds)
+	if !metricsEqualBits(local[0].Metrics, sharded[0].Metrics) {
+		t.Errorf("chaos changed the results:\nlocal %+v\nshard %+v",
+			local[0].Metrics, sharded[0].Metrics)
+	}
+	if local[0].Table() != sharded[0].Table() {
+		t.Error("rendered tables not byte-identical under chaos")
+	}
+}
+
+// TestShardSurvivesCrashingWorkers injects "every worker's first two
+// processes crash on their 2nd request" and demands a complete,
+// bit-identical run with the failures visible in the health counters.
+func TestShardSurvivesCrashingWorkers(t *testing.T) {
+	sh := chaosShard(2, "crash-after=2,gens=2", nil)
+	defer sh.Close()
+	requireShardMatchesLocal(t, sh, Seeds(10, 8)) // includes 13, the NaN seed
+
+	h := sh.Health()
+	if h.Restarts() == 0 {
+		t.Errorf("crashing fleet should have restarted workers: %s", h.Summary())
+	}
+	if h.Failures() == 0 || h.Retries == 0 {
+		t.Errorf("crashes should be counted: %s", h.Summary())
+	}
+}
+
+// TestShardRecoversFromCorruptFrames injects a well-framed garbage payload
+// as each first-generation worker's first response: the decode detector,
+// not the process watcher, must catch it, and the retry must keep the run
+// bit-identical.
+func TestShardRecoversFromCorruptFrames(t *testing.T) {
+	sh := chaosShard(2, "corrupt-after=1,gens=1", nil)
+	defer sh.Close()
+	requireShardMatchesLocal(t, sh, Seeds(10, 6))
+
+	h := sh.Health()
+	var decodes int64
+	for _, w := range h.Workers {
+		decodes += w.DecodeErrs
+	}
+	if decodes == 0 {
+		t.Errorf("corrupt frames should be classified as decode failures: %s", h.Summary())
+	}
+}
+
+// TestShardRecoversFromTruncatedFrames injects a header promising more
+// payload than the dying worker delivers.
+func TestShardRecoversFromTruncatedFrames(t *testing.T) {
+	sh := chaosShard(2, "trunc-after=1,gens=1", nil)
+	defer sh.Close()
+	requireShardMatchesLocal(t, sh, Seeds(10, 6))
+	if h := sh.Health(); h.Failures() == 0 {
+		t.Errorf("truncated frames should be counted as failures: %s", h.Summary())
+	}
+}
+
+// TestShardReapsHungWorker injects an effectively infinite hang into each
+// first-generation worker; the chunk deadline must kill and replace it.
+func TestShardReapsHungWorker(t *testing.T) {
+	sh := chaosShard(2, "hang-after=1,gens=1", func(p *FaultPolicy) {
+		p.ChunkTimeout = 300 * time.Millisecond
+	})
+	defer sh.Close()
+	requireShardMatchesLocal(t, sh, Seeds(10, 6))
+
+	h := sh.Health()
+	var timeouts int64
+	for _, w := range h.Workers {
+		timeouts += w.Timeouts
+	}
+	if timeouts == 0 {
+		t.Errorf("hung workers should be reaped as timeouts: %s", h.Summary())
+	}
+}
+
+// TestShardCleanRunHasZeroFailureCounters pins the converse: benign delays
+// (or no chaos at all) must not trip any failure detector.
+func TestShardCleanRunHasZeroFailureCounters(t *testing.T) {
+	sh := chaosShard(2, "delay-every=3,delay-ms=1", nil)
+	defer sh.Close()
+	requireShardMatchesLocal(t, sh, Seeds(10, 6))
+
+	h := sh.Health()
+	if h.Failures() != 0 || h.Retries != 0 || h.Restarts() != 0 || h.Quarantined != 0 || h.DegradedSeeds != 0 {
+		t.Errorf("benign delays tripped a failure detector: %s", h.Summary())
+	}
+	if h.Chunks() != 6 {
+		t.Errorf("chunks ok = %d, want 6", h.Chunks())
+	}
+}
+
+// TestShardChunkedLeases runs multiple seeds per lease and checks the
+// results and accounting still line up.
+func TestShardChunkedLeases(t *testing.T) {
+	sh := chaosShard(2, "", func(p *FaultPolicy) { p.ChunkSeeds = 3 })
+	defer sh.Close()
+	requireShardMatchesLocal(t, sh, Seeds(10, 8))
+
+	h := sh.Health()
+	if h.Chunks() != 3 { // 8 seeds in chunks of 3 → 3+3+2
+		t.Errorf("chunks ok = %d, want 3", h.Chunks())
+	}
+	var seeds int64
+	for _, w := range h.Workers {
+		seeds += w.Seeds
+	}
+	if seeds != 8 {
+		t.Errorf("seeds computed = %d, want 8", seeds)
+	}
+}
+
+// TestShardQuarantinedPanicFailsLoudly: when the fleet is dead and the
+// quarantined in-process execution itself panics, the run must fail with
+// the real error — degradation never papers over an application bug.
+func TestShardQuarantinedPanicFailsLoudly(t *testing.T) {
+	sh := &Shard{Workers: 1, Argv: []string{os.Args[0], workerExitSentinel}, Policy: fastPolicy()}
+	defer sh.Close()
+	spec := Spec{Name: "test-quarantine-panic", Desc: "x",
+		Run: func(int64) Result { panic("app bug") }}
+	_, err := (&Runner{Executor: sh}).Run([]Spec{spec}, []int64{1})
+	if err == nil || !strings.Contains(err.Error(), "app bug") {
+		t.Errorf("quarantined panic should surface the real error, got %v", err)
+	}
+}
+
+// syncBuffer is a goroutine-safe writer for capturing worker stderr.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestShardWorkerStderrPrefixed pins the satellite: worker stderr lines
+// reach the shard's sink prefixed with the stable slot id.
+func TestShardWorkerStderrPrefixed(t *testing.T) {
+	var buf syncBuffer
+	sh := &Shard{
+		Workers: 1,
+		Argv:    []string{os.Args[0], workerNoisySentinel},
+		Policy:  fastPolicy(),
+		Stderr:  &buf,
+	}
+	spec, _ := Lookup("test-shardable")
+	mustRun(t, &Runner{Executor: sh}, []Spec{spec}, Seeds(1, 2))
+	sh.Close()
+
+	// The prefix goroutine drains the pipe after the process exits; give it
+	// a moment before asserting.
+	want := "[w0] noisy diagnostic line\n"
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(buf.String(), want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker stderr not prefixed: %q", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCacheCountsWriteErrors pins the cache write-error counter: an
+// unwritable cache directory costs future hits, never correctness, and the
+// failure is visible in the stats.
+func TestCacheCountsWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	c := &Cache{Inner: &Local{Parallel: 2}, Dir: dir}
+	spec := syntheticSpec("test-cache-write-errs", nil)
+	seeds := Seeds(1, 3)
+
+	// Pre-create each entry path as a directory: load treats it as a miss
+	// (unreadable) and store's rename onto a directory fails — so every
+	// store fails while every Result still flows. Works at any uid, unlike
+	// chmod tricks.
+	for _, seed := range seeds {
+		if err := os.MkdirAll(seedPath(c.specDir(spec), seed), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	aggs := mustRun(t, &Runner{Executor: c}, []Spec{spec}, seeds)
+	if len(aggs) != 1 || aggs[0].Metrics[0].N != len(seeds) {
+		t.Fatalf("run incomplete despite write errors: %+v", aggs)
+	}
+	s := c.Stats()
+	if s.WriteErrs != int64(len(seeds)) || s.Misses != int64(len(seeds)) || s.Hits != 0 {
+		t.Errorf("stats = %+v, want %d write errors / misses", s, len(seeds))
+	}
+	if !strings.Contains(s.String(), "3 write errors") {
+		t.Errorf("stats line should carry write errors: %s", s)
+	}
+}

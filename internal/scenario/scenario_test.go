@@ -15,8 +15,9 @@ import (
 // this test binary with one of these as its sole argument. TestMain
 // intercepts them before the testing framework parses flags.
 const (
-	workerSentinel     = "-run-as-scenario-worker"
-	workerExitSentinel = "-run-as-scenario-worker-exit"
+	workerSentinel      = "-run-as-scenario-worker"
+	workerExitSentinel  = "-run-as-scenario-worker-exit"
+	workerNoisySentinel = "-run-as-scenario-worker-noisy"
 )
 
 func TestMain(m *testing.M) {
@@ -31,6 +32,13 @@ func TestMain(m *testing.M) {
 			}
 			os.Exit(0)
 		case workerExitSentinel: // simulates a worker that dies immediately
+			os.Exit(0)
+		case workerNoisySentinel: // a worker that writes diagnostics to stderr
+			fmt.Fprintln(os.Stderr, "noisy diagnostic line")
+			if err := ServeWorker(os.Stdin, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "worker:", err)
+				os.Exit(1)
+			}
 			os.Exit(0)
 		}
 	}

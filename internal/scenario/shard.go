@@ -5,46 +5,101 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// Shard executes seeds on a pool of worker subprocesses, each the current
-// binary re-executed with the hidden -worker flag (plus the original
-// command line, so workers rebuild any flag-parameterized specs
+// Shard executes seeds on a supervised pool of worker subprocesses, each
+// the current binary re-executed with the hidden -worker flag (plus the
+// original command line, so workers rebuild any flag-parameterized specs
 // identically) speaking the length-prefixed JSON protocol in worker.go.
+//
+// Supervision. A coordinator leases (spec, seed-chunk) units to worker
+// slots. A slot detects failure three ways — process exit (or broken
+// pipe), per-chunk deadline timeout, and frame/Result decode error — and
+// on any of them the dead process is reaped, the slot restarts it on
+// demand with capped exponential backoff plus jitter, and the chunk is
+// reassigned to a healthy worker. A chunk that exhausts its retry budget
+// is quarantined to in-process execution (graceful degradation to the
+// Local path) when the policy allows, so a run only errors when every
+// path is exhausted. Because every seed is deterministic and Results
+// cross the boundary bit-exactly, a retried or degraded chunk is
+// indistinguishable from a first-attempt one: the fabric tolerates
+// crashes, hangs and corrupt frames without costing a single output bit
+// (the chaos-injected cross-backend equivalence test pins exactly that).
+// Worker-reported application errors (unknown spec, experiment panic) are
+// terminal: the fleet is healthy, so retrying cannot fix the request.
 //
 // The pool starts lazily on the first Run and is shared across concurrent
 // Run calls, so a Runner fanning the whole registry over one Shard keeps
-// exactly Workers subprocesses busy. Results are reordered into seed order
-// before emission, so the aggregate is bit-identical to the Local
+// exactly Workers subprocesses busy. Results are reordered into seed
+// order before emission, so the aggregate is bit-identical to the Local
 // backend's. Close shuts the workers down; callers that finished running
-// should Close to reap the subprocesses.
+// should Close to reap the subprocesses. Health returns the supervision
+// counters accumulated so far.
 type Shard struct {
-	Workers int      // subprocess count; values < 1 mean runtime.NumCPU()
-	Argv    []string // worker command; nil means {os.Executable(), "-worker", os.Args[1:]...}
+	Workers int         // subprocess count; values < 1 mean runtime.NumCPU()
+	Argv    []string    // worker command; nil means {os.Executable(), "-worker", os.Args[1:]...}
+	Env     []string    // extra KEY=VALUE pairs for worker processes
+	Chaos   string      // fault-injection schedule exported to workers as REPRO_CHAOS (see ParseChaos)
+	Policy  FaultPolicy // supervision knobs; zero value means DefaultFaultPolicy
+	Stderr  io.Writer   // sink for worker stderr, each line prefixed "[wN] "; nil means os.Stderr
 
 	once     sync.Once
 	startErr error
-	jobs     chan shardJob
+	argv     []string
+	pol      FaultPolicy
+	jobs     chan *lease
 	wg       sync.WaitGroup
+	slots    []*workerSlot
+
+	retries     atomic.Int64
+	quarantined atomic.Int64
+	degraded    atomic.Int64
 }
 
-// shardJob is one (spec, seed) request with its reply route. ki travels
-// with the job so replies can arrive on one shared channel per Run call.
-type shardJob struct {
-	spec  string
-	seed  int64
-	ki    int
-	reply chan<- shardReply
+// lease is one (spec, seed-chunk) unit of work: a run of consecutive
+// seeds starting at index ki0 of the Run's seed slice, with its reply
+// route and the coordinator-owned failed-attempt count.
+type lease struct {
+	spec     Spec
+	seeds    []int64
+	ki0      int
+	attempts int
+	reply    chan<- leaseResult
 }
 
-type shardReply struct {
-	ki  int
-	res Result
-	err error
+type leaseResult struct {
+	l      *lease
+	res    []Result // len(l.seeds) on success
+	worker int      // slot id; -1 for quarantined in-process execution
+	kind   failKind
+	err    error
+}
+
+// workerSlot supervises one worker position in the pool: it owns at most
+// one live subprocess at a time, restarts it on demand after failures,
+// and keeps the slot-stable health counters. The slot id is stable across
+// restarts — it names the [wN] stderr prefix and the health row.
+type workerSlot struct {
+	id int
+	sh *Shard
+
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out *bufio.Reader
+	gen int // processes started in this slot so far
+
+	consecFails int // consecutive failed leases/spawns, drives the backoff
+
+	restarts, chunks, seeds              atomic.Int64
+	spawnFails, exits, timeouts, decodes atomic.Int64
 }
 
 // workerArgv builds the default worker command line. The -worker flag goes
@@ -59,6 +114,7 @@ func workerArgv() ([]string, error) {
 }
 
 func (s *Shard) start() {
+	s.pol = s.Policy.normalized()
 	argv := s.Argv
 	if argv == nil {
 		argv, s.startErr = workerArgv()
@@ -66,84 +122,248 @@ func (s *Shard) start() {
 			return
 		}
 	}
+	s.argv = argv
 	n := s.Workers
 	if n < 1 {
 		n = runtime.NumCPU()
 	}
-	s.jobs = make(chan shardJob)
+	s.jobs = make(chan *lease)
+	s.slots = make([]*workerSlot, n)
 	for i := 0; i < n; i++ {
-		cmd := exec.Command(argv[0], argv[1:]...)
-		cmd.Stderr = os.Stderr
-		stdin, err := cmd.StdinPipe()
-		if err == nil {
-			var stdout io.ReadCloser
-			stdout, err = cmd.StdoutPipe()
-			if err == nil {
-				err = cmd.Start()
-				if err == nil {
-					s.wg.Add(1)
-					go s.serve(cmd, stdin, bufio.NewReader(stdout))
-					continue
-				}
-			}
-		}
-		s.startErr = fmt.Errorf("shard: start worker %d (%q): %w", i, argv[0], err)
-		break
-	}
-	if s.startErr != nil {
-		// Reap whatever did start so a failed start leaks nothing.
-		close(s.jobs)
-		s.wg.Wait()
-		s.jobs = nil
+		s.slots[i] = &workerSlot{id: i, sh: s}
+		s.wg.Add(1)
+		go s.slots[i].supervise()
 	}
 }
 
-// serve owns one worker subprocess: it forwards jobs from the shared
-// channel and reads the matching responses. A worker that errors once is
-// dead for good — every later job it picks up fails immediately with the
-// original error, and the healthy workers absorb the rest of the queue.
-func (s *Shard) serve(cmd *exec.Cmd, in io.WriteCloser, out *bufio.Reader) {
-	defer s.wg.Done()
-	var dead error
-	for job := range s.jobs {
-		if dead != nil {
-			job.reply <- shardReply{ki: job.ki, err: dead}
+// supervise is one slot's loop: take a lease, make sure a worker process
+// is running (spawning is lazy and retried with backoff), run the chunk,
+// report the outcome. Any fault kills the process; the next lease spawns
+// a fresh one.
+func (w *workerSlot) supervise() {
+	defer w.sh.wg.Done()
+	defer w.stop()
+	for l := range w.sh.jobs {
+		if err := w.ensureStarted(); err != nil {
+			w.spawnFails.Add(1)
+			w.consecFails++
+			l.reply <- leaseResult{l: l, worker: w.id, kind: failSpawn,
+				err: fmt.Errorf("shard: [w%d] spawn worker: %w", w.id, err)}
+			w.backoff()
 			continue
 		}
-		res, err := roundTrip(in, out, job)
+		res, kind, err := w.runLease(l)
 		if err != nil {
-			dead = err
-			job.reply <- shardReply{ki: job.ki, err: dead}
+			switch kind {
+			case failTimeout:
+				w.timeouts.Add(1)
+			case failDecode:
+				w.decodes.Add(1)
+			case failApp:
+				// The worker answered; the request itself is broken. Keep
+				// the process and report the terminal error.
+				l.reply <- leaseResult{l: l, worker: w.id, kind: kind, err: err}
+				continue
+			default:
+				w.exits.Add(1)
+			}
+			w.consecFails++
+			w.kill()
+			l.reply <- leaseResult{l: l, worker: w.id, kind: kind, err: err}
+			w.backoff()
 			continue
 		}
-		job.reply <- shardReply{ki: job.ki, res: res}
+		w.consecFails = 0
+		w.chunks.Add(1)
+		w.seeds.Add(int64(len(l.seeds)))
+		l.reply <- leaseResult{l: l, worker: w.id, res: res}
 	}
-	in.Close()
-	cmd.Wait()
 }
 
-// roundTrip performs one request/response exchange with a worker.
-func roundTrip(in io.Writer, out *bufio.Reader, job shardJob) (Result, error) {
-	if err := writeFrame(in, workerRequest{Spec: job.spec, Seed: job.seed}); err != nil {
-		return Result{}, fmt.Errorf("shard: send %s seed %d: %w", job.spec, job.seed, err)
+// ensureStarted spawns the slot's worker process if none is live. The
+// process gets the slot id and its generation in the environment (plus
+// any chaos schedule), and its stderr is streamed to the shard's sink
+// with a stable "[wN] " prefix so interleaved diagnostics from a
+// restarted fleet stay attributable.
+func (w *workerSlot) ensureStarted() error {
+	if w.cmd != nil {
+		return nil
+	}
+	argv := w.sh.argv
+	cmd := exec.Command(argv[0], argv[1:]...)
+	env := append(os.Environ(),
+		workerIDEnv+"="+strconv.Itoa(w.id),
+		workerGenEnv+"="+strconv.Itoa(w.gen))
+	if w.sh.Chaos != "" {
+		env = append(env, chaosEnv+"="+w.sh.Chaos)
+	}
+	cmd.Env = append(env, w.sh.Env...)
+
+	// A manual pipe (not cmd.StderrPipe) so our reader, not Wait, owns the
+	// read end: Wait never races the prefix goroutine out of the tail of a
+	// dying worker's diagnostics.
+	stderrR, stderrW, err := os.Pipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = stderrW
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		stderrR.Close()
+		stderrW.Close()
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		stderrR.Close()
+		stderrW.Close()
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		stderrR.Close()
+		stderrW.Close()
+		return fmt.Errorf("start %q: %w", argv[0], err)
+	}
+	stderrW.Close() // child holds the write end now
+	sink := w.sh.Stderr
+	if sink == nil {
+		sink = os.Stderr
+	}
+	go prefixLines(sink, stderrR, fmt.Sprintf("[w%d] ", w.id))
+	if w.gen > 0 {
+		w.restarts.Add(1)
+	}
+	w.gen++
+	w.cmd, w.in, w.out = cmd, stdin, bufio.NewReader(stdout)
+	return nil
+}
+
+// runLease exchanges the chunk's (request, response) frames with the live
+// worker under the chunk deadline. The deadline is enforced by killing
+// the process — the blocked read then fails and the failure is classified
+// as a timeout.
+func (w *workerSlot) runLease(l *lease) ([]Result, failKind, error) {
+	var timedOut atomic.Bool
+	if to := w.sh.pol.ChunkTimeout; to > 0 {
+		proc := w.cmd.Process
+		t := time.AfterFunc(to, func() {
+			timedOut.Store(true)
+			proc.Kill()
+		})
+		defer t.Stop()
+	}
+	out := make([]Result, len(l.seeds))
+	for i, seed := range l.seeds {
+		res, kind, err := roundTrip(w.in, w.out, l.spec.Name, seed)
+		if err != nil {
+			if timedOut.Load() && kind != failApp {
+				kind = failTimeout
+				err = fmt.Errorf("shard: [w%d] %s seed %d: chunk deadline %s exceeded: %w",
+					w.id, l.spec.Name, seed, w.sh.pol.ChunkTimeout, err)
+			}
+			return nil, kind, err
+		}
+		out[i] = res
+	}
+	return out, 0, nil
+}
+
+// kill reaps the slot's worker process after a fault.
+func (w *workerSlot) kill() {
+	if w.cmd == nil {
+		return
+	}
+	w.cmd.Process.Kill()
+	w.in.Close()
+	w.cmd.Wait()
+	w.cmd, w.in, w.out = nil, nil, nil
+}
+
+// stop shuts the slot's worker down gracefully at Close: EOF on stdin
+// asks it to exit; a wedged process is killed after a grace period.
+func (w *workerSlot) stop() {
+	if w.cmd == nil {
+		return
+	}
+	w.in.Close()
+	done := make(chan struct{})
+	go func() {
+		w.cmd.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		w.cmd.Process.Kill()
+		<-done
+	}
+	w.cmd, w.in, w.out = nil, nil, nil
+}
+
+// backoff sleeps the capped exponential restart delay with jitter: base
+// RestartBackoff doubling per consecutive failure up to MaxBackoff, the
+// upper half fully jittered so a crashing fleet never restarts in
+// lockstep. Timing-only — jitter cannot reach any result bit.
+func (w *workerSlot) backoff() {
+	pol := w.sh.pol
+	if pol.RestartBackoff <= 0 {
+		return
+	}
+	shift := w.consecFails - 1
+	if shift < 0 {
+		shift = 0
+	} else if shift > 16 {
+		shift = 16
+	}
+	d := pol.RestartBackoff << uint(shift)
+	if pol.MaxBackoff > 0 && d > pol.MaxBackoff {
+		d = pol.MaxBackoff
+	}
+	half := d / 2
+	time.Sleep(half + time.Duration(rand.Int63n(int64(half)+1)))
+}
+
+// prefixLines copies src to dst line by line with the given prefix.
+func prefixLines(dst io.Writer, src io.Reader, prefix string) {
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		fmt.Fprintf(dst, "%s%s\n", prefix, sc.Bytes())
+	}
+	if c, ok := src.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// roundTrip performs one request/response exchange with a worker and
+// classifies any failure for the supervisor.
+func roundTrip(in io.Writer, out *bufio.Reader, spec string, seed int64) (Result, failKind, error) {
+	if err := writeFrame(in, workerRequest{Spec: spec, Seed: seed}); err != nil {
+		return Result{}, failExit, fmt.Errorf("shard: send %s seed %d: %w", spec, seed, err)
 	}
 	var resp workerResponse
 	if err := readFrame(out, &resp); err != nil {
-		return Result{}, fmt.Errorf("shard: worker died on %s seed %d: %w", job.spec, job.seed, err)
+		kind := failExit
+		if errors.Is(err, ErrDecode) {
+			kind = failDecode
+		}
+		return Result{}, kind, fmt.Errorf("shard: %s seed %d: %w", spec, seed, err)
 	}
 	if resp.Err != "" {
-		return Result{}, fmt.Errorf("shard: worker: %s", resp.Err)
+		return Result{}, failApp, fmt.Errorf("shard: worker: %s", resp.Err)
 	}
 	res, err := DecodeResult(resp.Result)
 	if err != nil {
-		return Result{}, fmt.Errorf("shard: %s seed %d: %w", job.spec, job.seed, err)
+		return Result{}, failDecode, fmt.Errorf("shard: %s seed %d: %w", spec, seed, err)
 	}
-	return res, nil
+	return res, 0, nil
 }
 
-// Run fans the seeds across the worker pool and emits the Results in seed
-// order. Any worker failure fails the whole call — partial aggregates are
-// worse than loud errors.
+// Run fans the seeds across the worker pool as (spec, seed-chunk) leases
+// and emits the Results in seed order. Failed leases are retried up to
+// the policy's budget, then quarantined to in-process execution when
+// degradation is enabled; the call errors only when a chunk has exhausted
+// every path (or a worker reports a terminal application error).
 func (s *Shard) Run(spec Spec, seeds []int64, emit Emit) error {
 	s.once.Do(s.start)
 	if s.startErr != nil {
@@ -152,27 +372,104 @@ func (s *Shard) Run(spec Spec, seeds []int64, emit Emit) error {
 	if s.jobs == nil {
 		return errors.New("shard: executor is closed")
 	}
-	reply := make(chan shardReply, len(seeds))
+	pol := s.pol
+	numLeases := (len(seeds) + pol.ChunkSeeds - 1) / pol.ChunkSeeds
+	// Buffered for the worst case — every attempt of every lease replies —
+	// so no supervisor or quarantine goroutine ever blocks on the reply
+	// route, whatever order the coordinator drains it in.
+	reply := make(chan leaseResult, numLeases*(pol.MaxRetries+2))
+	leases := make([]*lease, 0, numLeases)
+	for i := 0; i < len(seeds); i += pol.ChunkSeeds {
+		j := i + pol.ChunkSeeds
+		if j > len(seeds) {
+			j = len(seeds)
+		}
+		leases = append(leases, &lease{spec: spec, seeds: seeds[i:j], ki0: i, reply: reply})
+	}
 	go func() {
-		for ki, seed := range seeds {
-			s.jobs <- shardJob{spec: spec.Name, seed: seed, ki: ki, reply: reply}
+		for _, l := range leases {
+			s.jobs <- l
 		}
 	}()
+
 	ord := newReorder(emit)
 	var firstErr error
-	for range seeds {
+	for outstanding := len(leases); outstanding > 0; {
 		r := <-reply
-		if r.err != nil {
+		switch {
+		case r.err == nil:
+			if firstErr == nil {
+				for i, res := range r.res {
+					ord.deliver(r.l.ki0+i, res)
+				}
+			}
+			outstanding--
+		case r.kind == failApp:
 			if firstErr == nil {
 				firstErr = r.err
 			}
-			continue
-		}
-		if firstErr == nil {
-			ord.deliver(r.ki, r.res)
+			outstanding--
+		case firstErr != nil:
+			// The run is already failing; retrying surviving chunks would
+			// only delay the error.
+			outstanding--
+		case r.l.attempts < pol.MaxRetries:
+			r.l.attempts++
+			s.retries.Add(1)
+			go func(l *lease) { s.jobs <- l }(r.l)
+		case pol.DegradeToLocal:
+			s.quarantined.Add(1)
+			go s.runQuarantined(r.l)
+		default:
+			firstErr = fmt.Errorf("shard: %s seeds %v: %d worker attempts exhausted and degrade-to-local disabled: %w",
+				spec.Name, r.l.seeds, r.l.attempts+1, r.err)
+			outstanding--
 		}
 	}
 	return firstErr
+}
+
+// runQuarantined executes a chunk in-process after its worker retries are
+// exhausted — the graceful-degradation path. The seeds are the same
+// deterministic functions the workers would have run, so the emitted
+// Results are bit-identical to a healthy worker's.
+func (s *Shard) runQuarantined(l *lease) {
+	res := make([]Result, len(l.seeds))
+	for i, seed := range l.seeds {
+		r, err := executeSafe(l.spec, seed)
+		if err != nil {
+			l.reply <- leaseResult{l: l, worker: -1, kind: failApp,
+				err: fmt.Errorf("shard: quarantined chunk: %w", err)}
+			return
+		}
+		res[i] = r
+	}
+	s.degraded.Add(int64(len(l.seeds)))
+	l.reply <- leaseResult{l: l, worker: -1, res: res}
+}
+
+// Health snapshots the supervision counters: per-slot worker health plus
+// the coordinator's retry/quarantine totals. A Shard that never ran
+// reports an empty fleet; a fault-free run reports all-zero counters.
+func (s *Shard) Health() ShardHealth {
+	h := ShardHealth{
+		Retries:       s.retries.Load(),
+		Quarantined:   s.quarantined.Load(),
+		DegradedSeeds: s.degraded.Load(),
+	}
+	for _, w := range s.slots {
+		h.Workers = append(h.Workers, WorkerHealth{
+			ID:         w.id,
+			Restarts:   w.restarts.Load(),
+			Chunks:     w.chunks.Load(),
+			Seeds:      w.seeds.Load(),
+			SpawnFails: w.spawnFails.Load(),
+			Exits:      w.exits.Load(),
+			Timeouts:   w.timeouts.Load(),
+			DecodeErrs: w.decodes.Load(),
+		})
+	}
+	return h
 }
 
 // Close shuts down the worker pool and waits for the subprocesses to

@@ -7,6 +7,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestServeWorkerProtocol drives the worker loop over in-memory pipes —
@@ -67,9 +68,23 @@ func TestServeWorkerProtocol(t *testing.T) {
 }
 
 // shardForTest returns a Shard whose workers are this test binary serving
-// ServeWorker (see TestMain).
+// ServeWorker (see TestMain), with restart pacing tightened so failure
+// tests spend milliseconds, not the production backoff, between retries.
 func shardForTest(workers int) *Shard {
-	return &Shard{Workers: workers, Argv: []string{os.Args[0], workerSentinel}}
+	return &Shard{
+		Workers: workers,
+		Argv:    []string{os.Args[0], workerSentinel},
+		Policy:  fastPolicy(),
+	}
+}
+
+// fastPolicy is the production default with test-speed restart pacing.
+func fastPolicy() FaultPolicy {
+	p := DefaultFaultPolicy()
+	p.ChunkTimeout = 30 * time.Second
+	p.RestartBackoff = time.Millisecond
+	p.MaxBackoff = 5 * time.Millisecond
+	return p
 }
 
 // metricsEqualBits compares metric slices demanding bit-identical floats;
@@ -158,21 +173,71 @@ func TestShardUnknownSpecFails(t *testing.T) {
 	}
 }
 
-func TestShardWorkerDeathFails(t *testing.T) {
-	sh := &Shard{Workers: 2, Argv: []string{os.Args[0], workerExitSentinel}}
+// noDegradePolicy exhausts quickly and forbids the in-process fallback, so
+// unrecoverable-fleet tests assert the error path rather than the (default)
+// graceful degradation.
+func noDegradePolicy() FaultPolicy {
+	p := fastPolicy()
+	p.MaxRetries = 1
+	p.DegradeToLocal = false
+	return p
+}
+
+func TestShardWorkerDeathFailsWithoutDegrade(t *testing.T) {
+	sh := &Shard{Workers: 2, Argv: []string{os.Args[0], workerExitSentinel}, Policy: noDegradePolicy()}
 	defer sh.Close()
 	spec, _ := Lookup("test-shardable")
 	_, err := (&Runner{Executor: sh}).Run([]Spec{spec}, Seeds(1, 4))
 	if err == nil {
-		t.Fatal("dead workers should fail the run")
+		t.Fatal("dead workers with degradation disabled should fail the run")
+	}
+	if !strings.Contains(err.Error(), "degrade-to-local disabled") {
+		t.Errorf("error should name the exhausted path, got %v", err)
 	}
 }
 
-func TestShardBadBinaryFailsToStart(t *testing.T) {
-	sh := &Shard{Workers: 1, Argv: []string{"/no/such/binary/exists"}}
+// TestShardWorkerDeathDegradesToLocal is the graceful-degradation
+// guarantee: a fleet whose every process dies instantly still completes
+// the run bit-identically via quarantined in-process execution.
+func TestShardWorkerDeathDegradesToLocal(t *testing.T) {
+	sh := &Shard{Workers: 2, Argv: []string{os.Args[0], workerExitSentinel}, Policy: fastPolicy()}
+	defer sh.Close()
+	spec, _ := Lookup("test-shardable")
+	seeds := Seeds(10, 6) // includes 13, the NaN seed
+
+	local := mustRun(t, &Runner{Parallel: 4, KeepPerSeed: true}, []Spec{spec}, seeds)
+	degraded := mustRun(t, &Runner{KeepPerSeed: true, Executor: sh}, []Spec{spec}, seeds)
+	if !metricsEqualBits(local[0].Metrics, degraded[0].Metrics) {
+		t.Errorf("degraded metrics diverged:\nlocal %+v\ndegraded %+v", local[0].Metrics, degraded[0].Metrics)
+	}
+
+	h := sh.Health()
+	if h.DegradedSeeds != int64(len(seeds)) {
+		t.Errorf("DegradedSeeds = %d, want %d (every seed quarantined)", h.DegradedSeeds, len(seeds))
+	}
+	if h.Quarantined == 0 || h.Retries == 0 || h.Failures() == 0 {
+		t.Errorf("health should record the failure storm: %s", h)
+	}
+}
+
+func TestShardBadBinaryFailsWithoutDegrade(t *testing.T) {
+	sh := &Shard{Workers: 1, Argv: []string{"/no/such/binary/exists"}, Policy: noDegradePolicy()}
 	defer sh.Close()
 	spec, _ := Lookup("test-shardable")
 	if _, err := (&Runner{Executor: sh}).Run([]Spec{spec}, []int64{1}); err == nil {
-		t.Fatal("unstartable worker binary should fail the run")
+		t.Fatal("unstartable worker binary with degradation disabled should fail the run")
+	}
+}
+
+func TestShardBadBinaryDegradesToLocal(t *testing.T) {
+	sh := &Shard{Workers: 1, Argv: []string{"/no/such/binary/exists"}, Policy: fastPolicy()}
+	defer sh.Close()
+	spec, _ := Lookup("test-shardable")
+	aggs := mustRun(t, &Runner{Executor: sh}, []Spec{spec}, Seeds(1, 3))
+	if len(aggs) != 1 || aggs[0].Metrics[len(aggs[0].Metrics)-1].N != 3 {
+		t.Errorf("degraded run incomplete: %+v", aggs)
+	}
+	if h := sh.Health(); h.DegradedSeeds != 3 {
+		t.Errorf("DegradedSeeds = %d, want 3", h.DegradedSeeds)
 	}
 }

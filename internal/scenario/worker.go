@@ -2,9 +2,12 @@ package scenario
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"time"
 )
 
 // The worker side of the shard protocol. A worker is the same binary as
@@ -37,23 +40,49 @@ type workerResponse struct {
 // macbench/hotspotsim layer their flag-built specs over the catalogue),
 // execute the seed, write a response frame. It returns nil on clean EOF.
 //
+// If the REPRO_CHAOS environment variable is set (the parent Shard
+// exports its -chaos schedule there), the worker misbehaves on the
+// configured schedule — the fault-injection half of the supervision
+// layer. A malformed schedule is a startup error.
+//
 // Nothing but protocol frames may be written to w — a worker whose
 // experiments print to stdout would corrupt the stream — which holds
 // because experiments return rendered tables instead of printing them.
 func ServeWorker(r io.Reader, w io.Writer, extra ...Spec) error {
+	chaos, err := ChaosFromEnv()
+	if err != nil {
+		return fmt.Errorf("worker: %w", err)
+	}
+	return serveWorker(r, w, chaos, extra...)
+}
+
+func serveWorker(r io.Reader, w io.Writer, chaos Chaos, extra ...Spec) error {
 	byName := make(map[string]Spec, len(extra))
 	for _, s := range extra {
 		byName[s.Name] = s
 	}
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
-	for {
+	for n := 1; ; n++ {
 		var req workerRequest
 		if err := readFrame(br, &req); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return fmt.Errorf("worker: read request: %w", err)
+		}
+		// Pre-response faults: the parent sees a dead process or a request
+		// that never completes.
+		if chaos.DelayEvery > 0 && n%chaos.DelayEvery == 0 {
+			time.Sleep(chaos.Delay)
+		}
+		if chaos.CrashAfter > 0 && n == chaos.CrashAfter {
+			fmt.Fprintf(os.Stderr, "chaos: crashing on request %d\n", n)
+			os.Exit(3)
+		}
+		if chaos.HangAfter > 0 && n == chaos.HangAfter {
+			fmt.Fprintf(os.Stderr, "chaos: hanging on request %d\n", n)
+			time.Sleep(chaos.HangFor)
 		}
 		resp := workerResponse{Spec: req.Spec, Seed: req.Seed}
 		spec, ok := byName[req.Spec]
@@ -72,6 +101,24 @@ func ServeWorker(r io.Reader, w io.Writer, extra ...Spec) error {
 				resp.Err = err.Error()
 			}
 		}
+		// Response-stream faults: the parent's decoder, not its process
+		// watcher, must catch these.
+		if chaos.TruncateAfter > 0 && n == chaos.TruncateAfter {
+			fmt.Fprintf(os.Stderr, "chaos: truncating response %d\n", n)
+			writeTruncatedFrame(bw)
+			bw.Flush()
+			os.Exit(3)
+		}
+		if chaos.CorruptAfter > 0 && n == chaos.CorruptAfter {
+			fmt.Fprintf(os.Stderr, "chaos: corrupting response %d\n", n)
+			if err := writeCorruptFrame(bw); err != nil {
+				return fmt.Errorf("worker: write response: %w", err)
+			}
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("worker: write response: %w", err)
+			}
+			continue
+		}
 		if err := writeFrame(bw, resp); err != nil {
 			return fmt.Errorf("worker: write response: %w", err)
 		}
@@ -79,6 +126,30 @@ func ServeWorker(r io.Reader, w io.Writer, extra ...Spec) error {
 			return fmt.Errorf("worker: write response: %w", err)
 		}
 	}
+}
+
+// writeTruncatedFrame writes a header promising more payload than follows,
+// so the parent's frame reader fails with an unexpected EOF once the
+// process exits.
+func writeTruncatedFrame(w io.Writer) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1024)
+	w.Write(hdr[:])
+	w.Write([]byte("chaos"))
+}
+
+// writeCorruptFrame writes a well-framed payload that is not a protocol
+// message, so the parent's JSON decode fails while the stream framing
+// stays intact.
+func writeCorruptFrame(w io.Writer) error {
+	payload := []byte("chaos! not json {{{")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
 }
 
 // executeSafe converts a panicking experiment into a protocol error, so
