@@ -9,28 +9,36 @@
 //
 //	figgen [-seed N] [-seeds N] [-parallel N] [-run REGEX] [-tags T1,T2]
 //	       [-backend local|shard|cached] [-workers N] [-cache-dir DIR]
+//	       [-addrs HOST:PORT,...] [-store HOST:PORT]
 //	       [-max-retries N] [-chunk-timeout D] [-restart-backoff D]
-//	       [-degrade-local] [-chaos SCHEDULE]
+//	       [-dial-timeout D] [-frame-timeout D]
+//	       [-degrade-local] [-chaos SCHEDULE] [-health-json FILE]
 //	       [-json] [-list] [-cpuprofile FILE] [-memprofile FILE]
 //	       [-benchjson FILE [-benchgate LABEL]] [-macrojson FILE]
 //	       [-benchlabel L] [experiment ...]
+//	figgen -serve ADDR [-chaos SCHEDULE]
+//	figgen -serve-store ADDR [-cache-dir DIR]
 //
 // With no selection flags every experiment runs in order. All (experiment
 // × seed) jobs run on the backend selected by -backend: the in-process
 // pool sized by -parallel (default), -workers supervised subprocesses
-// speaking the internal shard protocol, or the local pool behind the
-// on-disk result cache at -cache-dir (see EXPERIMENTS.md, "Execution
-// backends"). The output is identical for every backend and pool size,
-// only the wall clock changes — the shard backend retries, restarts and
-// degrades around worker failures (tunable via -max-retries,
-// -chunk-timeout, -restart-backoff and -degrade-local; fault injection
-// for testing via -chaos) without costing a single output bit (see
-// EXPERIMENTS.md, "Fault tolerance"). With -seeds N > 1 each selected
-// experiment runs on N consecutive seeds (base -seed) and figgen reports
-// each metric's mean ± 95% confidence interval. After the tables, table
-// mode appends the backend's run summary (shard worker health, cache
-// hit/miss/write-error counters); -json keeps stdout machine-parseable
-// and leaves the summary on stderr only. -cpuprofile/-memprofile bracket
+// speaking the internal shard protocol (or, with -addrs, TCP connections
+// to figgen -serve worker servers), or the local pool behind the
+// on-disk result cache at -cache-dir (optionally shared across machines
+// via -store pointing at a figgen -serve-store server; see EXPERIMENTS.md,
+// "Execution backends" and "Distributed mode"). The output is identical
+// for every backend, transport and pool size, only the wall clock changes
+// — the shard backend retries, restarts and degrades around worker
+// failures (tunable via -max-retries, -chunk-timeout, -restart-backoff,
+// -dial-timeout and -frame-timeout; fault injection for testing via
+// -chaos) without costing a single output bit (see EXPERIMENTS.md, "Fault
+// tolerance"). With -seeds N > 1 each selected experiment runs on N
+// consecutive seeds (base -seed) and figgen reports each metric's mean ±
+// 95% confidence interval. After the tables, table mode appends the
+// backend's run summary (shard worker health, cache hit/miss/write-error
+// counters); -json keeps stdout machine-parseable and leaves the summary
+// on stderr only; -health-json FILE ("-" for stdout) additionally writes
+// the structured counters as JSON. -cpuprofile/-memprofile bracket
 // whatever the command runs — so profiling the hot path of any registered
 // experiment is one command.
 //
@@ -92,11 +100,12 @@ func main() {
 
 // run executes figgen against the global registry, writing all output to w.
 func run(w io.Writer, o options) error {
-	if o.rf.Worker {
-		// Shard worker mode: serve (spec, seed) requests over stdin/stdout
-		// and do nothing else. Checked before any other mode so a re-exec'd
-		// command line can carry whatever flags the parent had.
-		return o.rf.ServeWorker()
+	if served, err := o.rf.ServeMode(); served {
+		// Server modes — shard worker over stdin/stdout (-worker), TCP shard
+		// worker (-serve), shared result store (-serve-store) — do nothing
+		// else. Checked before any other mode so a re-exec'd command line can
+		// carry whatever flags the parent had.
+		return err
 	}
 	if o.list {
 		list(w)

@@ -119,8 +119,8 @@ func main() {
 		},
 	}
 
-	if rf.Worker {
-		if err := rf.ServeWorker(spec); err != nil {
+	if served, err := rf.ServeMode(spec); served {
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "hotspotsim: worker: %v\n", err)
 			os.Exit(2)
 		}

@@ -54,8 +54,8 @@ func main() {
 	for i := range specs {
 		specs[i].Params = params
 	}
-	if rf.Worker {
-		if err := rf.ServeWorker(specs...); err != nil {
+	if served, err := rf.ServeMode(specs...); served {
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "macbench: worker: %v\n", err)
 			os.Exit(2)
 		}

@@ -5,12 +5,14 @@
 package cli
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/scenario"
@@ -24,10 +26,15 @@ type RunFlags struct {
 	SeedsN   int
 	Parallel int
 
-	Backend  string // local | shard | cached
-	Workers  int    // shard: worker subprocess count
-	CacheDir string // cached: cache root directory
-	Worker   bool   // internal: this process is a shard worker
+	Backend    string // local | shard | cached
+	Workers    int    // shard: worker subprocess count
+	CacheDir   string // cached: cache root directory
+	Worker     bool   // internal: this process is a shard worker
+	Addrs      string // shard: comma-separated remote TCP worker addresses
+	Serve      string // internal: serve as a TCP shard worker on this address
+	Store      string // cached: remote result store address
+	ServeStore string // serve the shared result store on this address
+	HealthJSON string // write structured backend health counters here after a run
 
 	// Shard supervision knobs (see scenario.FaultPolicy) and the
 	// fault-injection schedule exported to workers (see scenario.ParseChaos).
@@ -35,6 +42,8 @@ type RunFlags struct {
 	ChunkTimeout   time.Duration
 	RestartBackoff time.Duration
 	DegradeLocal   bool
+	DialTimeout    time.Duration
+	FrameTimeout   time.Duration
 	Chaos          string
 
 	CPUProfile string
@@ -44,18 +53,22 @@ type RunFlags struct {
 	// frontends print after their tables. Nil fields mean the backend keeps
 	// no such counters.
 	LastRun RunSummary
+
+	fs *flag.FlagSet // the set the flags were registered on; nil before Register
 }
 
-// RunSummary carries the structured counters a Run left behind.
+// RunSummary carries the structured counters a Run left behind. It is
+// also the -health-json document shape.
 type RunSummary struct {
-	Cache *scenario.CacheStats  // cached backend: hit/miss/write-error counters
-	Shard *scenario.ShardHealth // shard backend: per-worker health + retry counters
+	Cache *scenario.CacheStats  `json:"cache,omitempty"` // cached backend: hit/miss/write-error counters
+	Shard *scenario.ShardHealth `json:"shard,omitempty"` // shard backend: per-worker health + retry counters
 }
 
 // Register installs the shared flags on fs with the repository-wide
 // defaults (seed 1, one seed, the in-process local backend with NumCPU
 // workers, the default fault policy, no chaos, no profiling).
 func (f *RunFlags) Register(fs *flag.FlagSet) {
+	f.fs = fs
 	def := scenario.DefaultFaultPolicy()
 	fs.Int64Var(&f.Seed, "seed", 1, "base simulation seed")
 	fs.IntVar(&f.SeedsN, "seeds", 1, "number of consecutive seeds per experiment")
@@ -64,11 +77,18 @@ func (f *RunFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.Workers, "workers", runtime.NumCPU(), "worker subprocess count for -backend shard")
 	fs.StringVar(&f.CacheDir, "cache-dir", ".repro-cache", "result cache directory for -backend cached")
 	fs.BoolVar(&f.Worker, "worker", false, "internal: serve as a shard worker over stdin/stdout")
+	fs.StringVar(&f.Addrs, "addrs", "", "shard: comma-separated remote TCP worker addresses (host:port); empty means local subprocesses")
+	fs.StringVar(&f.Serve, "serve", "", "serve as a TCP shard worker on this address (host:port) until killed")
+	fs.StringVar(&f.Store, "store", "", "cached: remote result store address (host:port); -cache-dir becomes the outage fallback")
+	fs.StringVar(&f.ServeStore, "serve-store", "", "serve the shared result store on this address, backed by -cache-dir")
+	fs.StringVar(&f.HealthJSON, "health-json", "", "write the run's backend health counters as JSON to this file (\"-\" for stdout)")
 	fs.IntVar(&f.MaxRetries, "max-retries", def.MaxRetries, "shard: reassignments of a failed seed chunk before quarantine")
 	fs.DurationVar(&f.ChunkTimeout, "chunk-timeout", def.ChunkTimeout, "shard: deadline per leased seed chunk (0 disables)")
 	fs.DurationVar(&f.RestartBackoff, "restart-backoff", def.RestartBackoff, "shard: base worker restart backoff (exponential, jittered)")
 	fs.BoolVar(&f.DegradeLocal, "degrade-local", def.DegradeToLocal, "shard: run exhausted chunks in-process instead of failing the run")
-	fs.StringVar(&f.Chaos, "chaos", "", "shard: fault-injection schedule for workers, e.g. \"crash-after=2,gens=2\" (see EXPERIMENTS.md)")
+	fs.DurationVar(&f.DialTimeout, "dial-timeout", def.DialTimeout, "shard: TCP worker dial timeout for -addrs (0 disables)")
+	fs.DurationVar(&f.FrameTimeout, "frame-timeout", def.FrameTimeout, "shard: per-frame read deadline on TCP worker connections (0 disables)")
+	fs.StringVar(&f.Chaos, "chaos", "", "shard/serve: fault-injection schedule for workers, e.g. \"crash-after=2,gens=2\" (see EXPERIMENTS.md)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile at the end of the run to this file")
 }
@@ -85,21 +105,37 @@ func (f *RunFlags) Executor() (scenario.Executor, error) {
 		if f.Backend != "shard" {
 			return nil, fmt.Errorf("-chaos requires -backend shard (got %q)", f.Backend)
 		}
+		if f.Addrs != "" {
+			return nil, fmt.Errorf("-chaos cannot reach remote workers; pass it to the -serve process instead")
+		}
 		if _, err := scenario.ParseChaos(f.Chaos, 0); err != nil {
 			return nil, err
 		}
+	}
+	if f.Addrs != "" && f.Backend != "shard" {
+		return nil, fmt.Errorf("-addrs requires -backend shard (got %q)", f.Backend)
+	}
+	if f.Store != "" && f.Backend != "cached" {
+		return nil, fmt.Errorf("-store requires -backend cached (got %q)", f.Backend)
 	}
 	switch f.Backend {
 	case "", "local":
 		return &scenario.Local{Parallel: f.Parallel}, nil
 	case "shard":
-		return &scenario.Shard{
+		sh := &scenario.Shard{
 			Workers: f.Workers,
 			Chaos:   f.Chaos,
 			Policy:  f.faultPolicy(),
-		}, nil
+		}
+		if f.Addrs != "" {
+			sh.Addrs = strings.Split(f.Addrs, ",")
+			if !f.flagSet("workers") {
+				sh.Workers = 0 // default the slot count to the fleet size, not NumCPU
+			}
+		}
+		return sh, nil
 	case "cached":
-		return &scenario.Cache{Inner: &scenario.Local{Parallel: f.Parallel}, Dir: f.CacheDir}, nil
+		return &scenario.Cache{Inner: &scenario.Local{Parallel: f.Parallel}, Dir: f.CacheDir, Addr: f.Store}, nil
 	default:
 		return nil, fmt.Errorf("unknown backend %q (want local, shard or cached)", f.Backend)
 	}
@@ -115,6 +151,8 @@ func (f *RunFlags) faultPolicy() scenario.FaultPolicy {
 		ChunkTimeout:   f.ChunkTimeout,
 		RestartBackoff: f.RestartBackoff,
 		DegradeToLocal: f.DegradeLocal,
+		DialTimeout:    f.DialTimeout,
+		FrameTimeout:   f.FrameTimeout,
 	}
 	if p.MaxRetries == 0 {
 		p.MaxRetries = -1
@@ -125,7 +163,28 @@ func (f *RunFlags) faultPolicy() scenario.FaultPolicy {
 	if p.RestartBackoff == 0 {
 		p.RestartBackoff = -1
 	}
+	if p.DialTimeout == 0 {
+		p.DialTimeout = -1
+	}
+	if p.FrameTimeout == 0 {
+		p.FrameTimeout = -1
+	}
 	return p
+}
+
+// flagSet reports whether the named flag was explicitly set on the
+// command line.
+func (f *RunFlags) flagSet(name string) bool {
+	if f.fs == nil {
+		return false
+	}
+	set := false
+	f.fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // ServeWorker runs the shard worker protocol over this process's
@@ -134,6 +193,26 @@ func (f *RunFlags) faultPolicy() scenario.FaultPolicy {
 // ad-hoc flag-parameterized specs make them resolvable by name.
 func (f *RunFlags) ServeWorker(extra ...scenario.Spec) error {
 	return scenario.ServeWorker(os.Stdin, os.Stdout, extra...)
+}
+
+// ServeMode runs whichever server mode the flags request — -worker (stdio
+// shard worker), -serve (TCP shard worker), -serve-store (shared result
+// store on -cache-dir) — and reports whether one ran. Frontends call it
+// first thing after flag parsing; when it reports true the process was a
+// server and must exit with the returned error.
+func (f *RunFlags) ServeMode(extra ...scenario.Spec) (bool, error) {
+	switch {
+	case f.Worker:
+		return true, f.ServeWorker(extra...)
+	case f.Serve != "":
+		return true, scenario.ListenAndServeNet(f.Serve, scenario.NetServeOptions{
+			ChaosSpec: f.Chaos,
+			Extra:     extra,
+		})
+	case f.ServeStore != "":
+		return true, scenario.ListenAndServeStore(f.ServeStore, f.CacheDir)
+	}
+	return false, nil
 }
 
 // Runner builds a scenario.Runner on the given backend.
@@ -179,11 +258,35 @@ func (f *RunFlags) Run(specs []scenario.Spec, keepPerSeed bool) ([]scenario.AggR
 		f.LastRun.Shard = &health
 		fmt.Fprintln(os.Stderr, health.Summary())
 	}
+	if f.HealthJSON != "" {
+		if err := f.writeHealthJSON(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
 	if runErr != nil {
 		stop()
 		return nil, runErr
 	}
 	return aggs, stop()
+}
+
+// writeHealthJSON emits LastRun's structured counters as JSON — the
+// machine-readable twin of the stderr health block, so CI asserts on
+// counters instead of grepping log text.
+func (f *RunFlags) writeHealthJSON() error {
+	data, err := json.MarshalIndent(f.LastRun, "", "  ")
+	if err != nil {
+		return fmt.Errorf("health-json: %w", err)
+	}
+	data = append(data, '\n')
+	if f.HealthJSON == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(f.HealthJSON, data, 0o644); err != nil {
+		return fmt.Errorf("health-json: %w", err)
+	}
+	return nil
 }
 
 // StartProfiles begins CPU profiling when -cpuprofile was given and returns

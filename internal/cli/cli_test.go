@@ -71,10 +71,79 @@ func TestFaultPolicyFlagsAreLiteral(t *testing.T) {
 	if p.MaxRetries >= 0 || p.ChunkTimeout >= 0 || p.RestartBackoff >= 0 || p.DegradeToLocal {
 		t.Errorf("zero flags should map to the disabled encoding: %+v", p)
 	}
-	f = RunFlags{MaxRetries: 5, ChunkTimeout: time.Minute, RestartBackoff: time.Second, DegradeLocal: true}
+	if p.DialTimeout >= 0 || p.FrameTimeout >= 0 {
+		t.Errorf("zero timeout flags should map to the disabled encoding: %+v", p)
+	}
+	f = RunFlags{
+		MaxRetries: 5, ChunkTimeout: time.Minute, RestartBackoff: time.Second, DegradeLocal: true,
+		DialTimeout: 2 * time.Second, FrameTimeout: 3 * time.Second,
+	}
 	p = f.faultPolicy()
-	if p.MaxRetries != 5 || p.ChunkTimeout != time.Minute || p.RestartBackoff != time.Second || !p.DegradeToLocal {
+	if p.MaxRetries != 5 || p.ChunkTimeout != time.Minute || p.RestartBackoff != time.Second || !p.DegradeToLocal ||
+		p.DialTimeout != 2*time.Second || p.FrameTimeout != 3*time.Second {
 		t.Errorf("non-zero flags should pass through: %+v", p)
+	}
+}
+
+// TestDistributedFlagValidation pins the cross-flag rules for the TCP
+// transport: -addrs needs the shard backend, -store needs the cached
+// backend, and -chaos cannot reach a remote fleet (it belongs on the
+// -serve process).
+func TestDistributedFlagValidation(t *testing.T) {
+	f := RunFlags{Backend: "local", Addrs: "127.0.0.1:1"}
+	if _, err := f.Executor(); err == nil {
+		t.Error("-addrs with local backend accepted")
+	}
+	f = RunFlags{Backend: "local", Store: "127.0.0.1:1"}
+	if _, err := f.Executor(); err == nil {
+		t.Error("-store with local backend accepted")
+	}
+	f = RunFlags{Backend: "shard", Workers: 1, Addrs: "127.0.0.1:1", Chaos: "crash-after=1"}
+	if _, err := f.Executor(); err == nil {
+		t.Error("-chaos with -addrs accepted")
+	}
+
+	f = RunFlags{Backend: "shard", Workers: 2, Addrs: "10.0.0.1:7401,10.0.0.2:7401"}
+	exec, err := f.Executor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := exec.(*scenario.Shard)
+	if !ok {
+		t.Fatalf("-addrs built %T, want *scenario.Shard", exec)
+	}
+	if len(sh.Addrs) != 2 || sh.Addrs[0] != "10.0.0.1:7401" {
+		t.Errorf("Addrs = %v", sh.Addrs)
+	}
+
+	// Without an explicit -workers the slot count defaults to the fleet
+	// size (Workers 0 → one slot per address), not NumCPU.
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var g RunFlags
+	g.Register(fs)
+	if err := fs.Parse([]string{"-backend", "shard", "-addrs", "10.0.0.1:7401,10.0.0.2:7401"}); err != nil {
+		t.Fatal(err)
+	}
+	exec, err = g.Executor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh := exec.(*scenario.Shard); sh.Workers != 0 {
+		t.Errorf("implicit -workers should defer to fleet size, got Workers=%d", sh.Workers)
+	}
+
+	fs = flag.NewFlagSet("x", flag.ContinueOnError)
+	var h RunFlags
+	h.Register(fs)
+	if err := fs.Parse([]string{"-backend", "shard", "-addrs", "10.0.0.1:7401", "-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	exec, err = h.Executor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh := exec.(*scenario.Shard); sh.Workers != 4 {
+		t.Errorf("explicit -workers should win, got Workers=%d", sh.Workers)
 	}
 }
 

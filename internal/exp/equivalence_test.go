@@ -2,7 +2,9 @@ package exp_test
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"net"
 	"os"
 	"runtime"
 	"testing"
@@ -35,10 +37,12 @@ func TestMain(m *testing.M) {
 // multi-process shard backend (workers=2, faults disabled — its health
 // counters must stay all-zero), a chaos-injected shard backend (worker
 // crashes, corrupt frames and mid-chunk hangs on schedule — retries and
-// restarts must not cost a single bit) and the caching backend (cold, then
-// warm from disk with an inner executor that must never run) produce
-// bit-identical merged Results — per-seed values, rendered tables, and
-// every aggregated metric.
+// restarts must not cost a single bit), the TCP-loopback shard backend
+// (clean, then under injected network chaos: dropped connections, stale
+// replays, blackholed sessions, a slow link) and the caching backend
+// (cold, then warm from disk with an inner executor that must never run)
+// produce bit-identical merged Results — per-seed values, rendered
+// tables, and every aggregated metric.
 func TestCrossBackendEquivalence(t *testing.T) {
 	specs := scenario.All()
 	if len(specs) < 20 {
@@ -98,6 +102,66 @@ func TestCrossBackendEquivalence(t *testing.T) {
 		t.Errorf("chaos schedule injected no faults (test is vacuous): %s", h.Summary())
 	}
 
+	// TCP-loopback shard: the same coordinator over the network transport,
+	// served in-process by ServeNet. Clean first — the connection-level
+	// supervision (deadlines, heartbeats, epochs) must be invisible on a
+	// healthy network: all-zero failure counters, every chunk accounted.
+	cleanLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go scenario.ServeNet(cleanLn, scenario.NetServeOptions{Heartbeat: 50 * time.Millisecond, Log: io.Discard})
+	tcpSh := &scenario.Shard{Workers: 2, Addrs: []string{cleanLn.Addr().String()}}
+	tcp := run("shard-tcp", tcpSh)
+	if err := tcpSh.Close(); err != nil {
+		t.Fatalf("tcp shard close: %v", err)
+	}
+	cleanLn.Close()
+	if h := tcpSh.Health(); h.Failures() != 0 || h.Retries != 0 || h.Restarts() != 0 ||
+		h.Quarantined != 0 || h.DegradedSeeds != 0 || h.Stales() != 0 || h.StaleReplies != 0 {
+		t.Errorf("fault-free TCP shard run tripped the supervisor: %s", h.Summary())
+	} else if h.Chunks() != int64(len(specs)*len(seeds)) {
+		t.Errorf("fault-free TCP shard run completed %d chunks, want %d", h.Chunks(), len(specs)*len(seeds))
+	}
+
+	// Network-chaos TCP shard: the first accepted connection is dropped
+	// mid-sweep, the second replays a stale frame (wrong epoch — must be
+	// discarded, not double-emitted), the third blackholes (accepts, then
+	// stalls responses and heartbeats until the frame deadline reaps it),
+	// the fourth serves over a slow link where only heartbeats keep the
+	// deadline fed, and later connections run clean. Reconnects, retries
+	// and epoch checks must not cost a single output bit.
+	chaosLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go scenario.ServeNet(chaosLn, scenario.NetServeOptions{
+		ChaosSpec: "gen0:drop-conn-after=3;gen1:replay-after=2;gen2:blackhole-after=2;gen3:slowlink-ms=50",
+		Heartbeat: 25 * time.Millisecond,
+		Log:       io.Discard,
+	})
+	tcpChaosSh := &scenario.Shard{
+		Workers: 2,
+		Addrs:   []string{chaosLn.Addr().String()},
+		Policy: scenario.FaultPolicy{
+			MaxRetries:     3,
+			ChunkTimeout:   10 * time.Second,
+			RestartBackoff: 5 * time.Millisecond,
+			MaxBackoff:     50 * time.Millisecond,
+			DegradeToLocal: true,
+			ChunkSeeds:     2,
+			FrameTimeout:   500 * time.Millisecond,
+		},
+	}
+	tcpChaotic := run("shard-tcp-chaos", tcpChaosSh)
+	if err := tcpChaosSh.Close(); err != nil {
+		t.Fatalf("tcp chaos shard close: %v", err)
+	}
+	chaosLn.Close()
+	if h := tcpChaosSh.Health(); h.Failures() == 0 || h.Retries == 0 || h.Restarts() == 0 || h.Stales() == 0 {
+		t.Errorf("TCP chaos schedule injected no faults (test is vacuous): %s", h.Summary())
+	}
+
 	dir := t.TempDir()
 	coldCache := &scenario.Cache{Inner: &scenario.Local{Parallel: runtime.NumCPU()}, Dir: dir}
 	cold := run("cache-cold", coldCache)
@@ -111,7 +175,9 @@ func TestCrossBackendEquivalence(t *testing.T) {
 	}
 
 	for name, aggs := range map[string][]scenario.AggResult{
-		"shard": sharded, "shard-chaos": chaotic, "cache-cold": cold, "cache-warm": warm,
+		"shard": sharded, "shard-chaos": chaotic,
+		"shard-tcp": tcp, "shard-tcp-chaos": tcpChaotic,
+		"cache-cold": cold, "cache-warm": warm,
 	} {
 		requireAggsBitIdentical(t, name, local, aggs)
 	}

@@ -6,21 +6,32 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 )
 
-// Cache decorates an Executor with a content-keyed on-disk result cache:
-// each (spec name, params digest, seed) maps to one file holding the
+// Cache decorates an Executor with a content-keyed result cache: each
+// (spec name, params digest, seed) maps to one entry holding the
 // codec-encoded Result, nested under the code-version digest — so a
 // repeated sweep (figgen reruns, macro benchmarking, CI) recomputes only
 // the seeds it has never seen on this exact build, and a code change
 // silently starts a fresh keyspace instead of serving stale numbers.
 //
-// Layout: Dir/<code-digest>/<spec-name>-<params-digest>/seed<N>.json.
-// Wiping the cache is `rm -rf Dir`; old code versions are just dead
-// subtrees. Because the codec round-trips bit-exactly and emission stays
-// in seed order, a warm run's aggregate is bit-identical to a cold run's —
-// the cross-backend equivalence test pins exactly that.
+// Entries live in the local directory Dir, or — when Addr is set — in a
+// shared remote store speaking GET/PUT over the same frame codec the
+// shard workers use (ServeStore), so a whole fleet fills one cache. The
+// remote store is an optimization, never a dependency: on any store
+// outage the process degrades to Dir for the rest of its life, counting
+// the outage in Stats, and the run completes on recomputed (and locally
+// cached) results.
+//
+// Layout: <root>/<code-digest>/<spec-name>-<params-digest>/seed<N>.json —
+// identical locally and remotely, so a store directory can be seeded
+// from, or inspected as, an ordinary cache dir. Wiping the cache is
+// `rm -rf`; old code versions are just dead subtrees. Because the codec
+// round-trips bit-exactly and emission stays in seed order, a warm run's
+// aggregate is bit-identical to a cold run's — the cross-backend
+// equivalence test pins exactly that.
 //
 // Kernel tuning (Spec.Tuning) is deliberately not part of the key: every
 // tuning produces the identical event order (the reference-model test
@@ -28,43 +39,74 @@ import (
 // are valid under any other.
 type Cache struct {
 	Inner Executor // backend that computes misses
-	Dir   string   // cache root
+	Dir   string   // local cache root; the fallback when Addr is set
+	Addr  string   // remote result store address (host:port); empty means local-only
 
-	hits, misses, writeErrs atomic.Int64
+	once sync.Once
+	st   entryStore
+
+	hits, misses, writeErrs, outages atomic.Int64
 }
 
 // CacheStats reports cache effectiveness for one process. WriteErrs counts
 // entries that could not be written back — each one costs future hits, not
-// correctness, since the run used the freshly computed Result.
+// correctness, since the run used the freshly computed Result. Outages
+// counts remote-store failures that switched the process to its local
+// fallback dir (at most one per Cache: the first failure latches).
 type CacheStats struct {
-	Hits, Misses, WriteErrs int64
-	Dir                     string
+	Hits, Misses, WriteErrs, Outages int64
+	Dir                              string
+	Addr                             string
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("cache: %d hits, %d misses, %d write errors (dir %s)", s.Hits, s.Misses, s.WriteErrs, s.Dir)
-}
-
-// Stats returns the hit/miss/write-error counters accumulated so far.
-func (c *Cache) Stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), WriteErrs: c.writeErrs.Load(), Dir: c.Dir}
-}
-
-// Run serves every cached seed from disk, delegates only the misses to the
-// inner backend, writes their results back, and emits the full seed-ordered
-// stream. Emission is progressive: hits are loaded only when their
-// seed-ordered turn comes up (a classification pass decides hit/miss up
-// front, but discards the decoded Result), so a sweep over thousands of
-// seeds holds the inner backend's out-of-order window — never the whole
-// result set — matching the Runner's streaming contract.
-func (c *Cache) Run(spec Spec, seeds []int64, emit Emit) error {
-	dir := c.specDir(spec)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("cache: %w", err)
+	suffix := fmt.Sprintf("(dir %s)", s.Dir)
+	if s.Addr != "" {
+		suffix = fmt.Sprintf("%d store outages (store %s, dir %s)", s.Outages, s.Addr, s.Dir)
 	}
+	return fmt.Sprintf("cache: %d hits, %d misses, %d write errors %s", s.Hits, s.Misses, s.WriteErrs, suffix)
+}
+
+// Stats returns the counters accumulated so far.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), WriteErrs: c.writeErrs.Load(),
+		Outages: c.outages.Load(), Dir: c.Dir, Addr: c.Addr}
+}
+
+// entryStore is where cache entries live: the local directory, or the
+// remote store client (which itself falls back to the local directory on
+// outage). Keys are entryRel-shaped slash-separated relative paths; load
+// treats every failure as a miss.
+type entryStore interface {
+	load(rel string) (Result, bool)
+	store(rel string, res Result) error
+}
+
+// entries resolves the configured entry store once per Cache.
+func (c *Cache) entries() entryStore {
+	c.once.Do(func() {
+		disk := diskStore{root: c.Dir}
+		if c.Addr == "" {
+			c.st = disk
+			return
+		}
+		c.st = &remoteStore{addr: c.Addr, fallback: disk, outages: &c.outages}
+	})
+	return c.st
+}
+
+// Run serves every cached seed from the store, delegates only the misses
+// to the inner backend, writes their results back, and emits the full
+// seed-ordered stream. Emission is progressive: hits are loaded only when
+// their seed-ordered turn comes up (a classification pass decides
+// hit/miss up front, but discards the decoded Result), so a sweep over
+// thousands of seeds holds the inner backend's out-of-order window —
+// never the whole result set — matching the Runner's streaming contract.
+func (c *Cache) Run(spec Spec, seeds []int64, emit Emit) error {
+	st := c.entries()
 	var missKI []int
 	for ki, seed := range seeds {
-		if _, ok := load(seedPath(dir, seed)); ok {
+		if _, ok := st.load(entryRel(spec, seed)); ok {
 			c.hits.Add(1)
 		} else {
 			missKI = append(missKI, ki)
@@ -78,7 +120,7 @@ func (c *Cache) Run(spec Spec, seeds []int64, emit Emit) error {
 	cursor := 0
 	emitHitsThrough := func(limit int) error {
 		for ; cursor < limit; cursor++ {
-			res, ok := load(seedPath(dir, seeds[cursor]))
+			res, ok := st.load(entryRel(spec, seeds[cursor]))
 			if !ok {
 				return fmt.Errorf("cache: %s seed %d: entry vanished mid-run (cache wiped?)", spec.Name, seeds[cursor])
 			}
@@ -95,7 +137,7 @@ func (c *Cache) Run(spec Spec, seeds []int64, emit Emit) error {
 		var emitErr, storeErr error
 		err := c.Inner.Run(spec, missSeeds, func(mi int, res Result) {
 			c.misses.Add(1)
-			if err := store(seedPath(dir, missSeeds[mi]), res); err != nil {
+			if err := st.store(entryRel(spec, missSeeds[mi]), res); err != nil {
 				c.writeErrs.Add(1)
 				if storeErr == nil {
 					storeErr = err
@@ -126,31 +168,49 @@ func (c *Cache) Run(spec Spec, seeds []int64, emit Emit) error {
 	return emitHitsThrough(len(seeds))
 }
 
-// Close closes the inner backend if it holds resources.
+// Close releases the store connection (if remote) and closes the inner
+// backend if it holds resources.
 func (c *Cache) Close() error {
+	if rs, ok := c.st.(*remoteStore); ok {
+		rs.close()
+	}
 	if cl, ok := c.Inner.(io.Closer); ok {
 		return cl.Close()
 	}
 	return nil
 }
 
-// specDir is the directory holding one spec's entries for the running
-// code version: the readable spec name plus a digest of (name, params),
-// so ad-hoc specs with equal names but different CLI parameters never
-// collide.
-func (c *Cache) specDir(spec Spec) string {
+// entryRel is one entry's store key: a slash-separated relative path,
+// identical in the local directory layout and the remote store. The spec
+// component pairs the readable name with a digest of (name, params), so
+// ad-hoc specs with equal names but different CLI parameters never
+// collide; the leading component keys the whole space by code version.
+func entryRel(spec Spec, seed int64) string {
 	sum := sha256.Sum256([]byte(spec.Name + "\x00" + spec.Params))
-	return filepath.Join(c.Dir, CodeVersion()[:16], fmt.Sprintf("%s-%x", spec.Name, sum[:6]))
+	return fmt.Sprintf("%s/%s-%x/seed%d.json", CodeVersion()[:16], spec.Name, sum[:6], seed)
+}
+
+// specDir is the local directory holding one spec's entries for the
+// running code version.
+func (c *Cache) specDir(spec Spec) string {
+	return filepath.Dir(diskStore{root: c.Dir}.path(entryRel(spec, 0)))
 }
 
 func seedPath(dir string, seed int64) string {
 	return filepath.Join(dir, fmt.Sprintf("seed%d.json", seed))
 }
 
+// diskStore is the local-directory entry store.
+type diskStore struct{ root string }
+
+func (d diskStore) path(rel string) string {
+	return filepath.Join(d.root, filepath.FromSlash(rel))
+}
+
 // load reads one cached Result; any failure (missing, unreadable,
 // corrupt) is a miss, never an error — the backend recomputes.
-func load(path string) (Result, bool) {
-	data, err := os.ReadFile(path)
+func (d diskStore) load(rel string) (Result, bool) {
+	data, err := os.ReadFile(d.path(rel))
 	if err != nil {
 		return Result{}, false
 	}
@@ -163,9 +223,13 @@ func load(path string) (Result, bool) {
 
 // store writes one Result atomically (temp file + rename), so a crashed
 // or concurrent run never leaves a torn entry for load to trip on.
-func store(path string, res Result) error {
+func (d diskStore) store(rel string, res Result) error {
 	data, err := EncodeResult(res)
 	if err != nil {
+		return err
+	}
+	path := d.path(rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")

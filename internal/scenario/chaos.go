@@ -23,7 +23,15 @@ import (
 // chaos-injected equivalence test uses.
 //
 // All frame counts are 1-based indices into the stream of requests one
-// worker process serves; zero disables that fault.
+// worker process serves; zero disables that fault. For a TCP worker
+// (ServeNet) a "generation" is the accept-order index of the connection on
+// the listener — a dropped or blackholed connection's replacement is the
+// next generation, exactly like a crashed subprocess's restart.
+//
+// The first six verbs are the process faults stdio workers inject; the
+// network verbs (drop-conn-after, blackhole-after, slowlink-ms,
+// replay-after) apply to TCP sessions and are ignored by stdio workers,
+// whose transport cannot express them.
 type Chaos struct {
 	CrashAfter    int           // exit(3) when asked for request N, before responding
 	HangAfter     int           // sleep HangFor before responding to request N
@@ -33,12 +41,19 @@ type Chaos struct {
 	DelayEvery    int           // sleep Delay before every Nth response
 	Delay         time.Duration // benign delay; defaults to 10ms
 	Gens          int           // apply faults only to worker generations < Gens; 0 means every generation
+
+	// Network verbs, for TCP worker sessions (ServeNet).
+	DropConnAfter  int           // close the connection on request N without responding
+	BlackholeAfter int           // from request N on: keep the connection, stop responding and heartbeating
+	SlowLink       time.Duration // delay every response by this much while heartbeats keep flowing (benign)
+	ReplayAfter    int           // before responding to request N, replay the previous response frame (stale epoch)
 }
 
 // active reports whether any fault is configured.
 func (c Chaos) active() bool {
 	return c.CrashAfter > 0 || c.HangAfter > 0 || c.CorruptAfter > 0 ||
-		c.TruncateAfter > 0 || c.DelayEvery > 0
+		c.TruncateAfter > 0 || c.DelayEvery > 0 ||
+		c.DropConnAfter > 0 || c.BlackholeAfter > 0 || c.SlowLink > 0 || c.ReplayAfter > 0
 }
 
 // Environment variables of the shard worker protocol. The parent sets all
@@ -63,7 +78,8 @@ const (
 //	gen0:crash-after=3;gen1:corrupt-after=2;gen2:hang-after=1
 //
 // Keys: crash-after, hang-after, hang-ms, corrupt-after, trunc-after,
-// delay-every, delay-ms, gens. The empty spec is no chaos.
+// delay-every, delay-ms, gens, and the network verbs drop-conn-after,
+// blackhole-after, slowlink-ms, replay-after. The empty spec is no chaos.
 func ParseChaos(spec string, gen int) (Chaos, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -105,7 +121,7 @@ func ParseChaos(spec string, gen int) (Chaos, error) {
 
 func parseChaosClause(clause string) (Chaos, error) {
 	var c Chaos
-	hangMS, delayMS := -1, -1
+	hangMS, delayMS, slowMS := -1, -1, -1
 	for _, kv := range strings.Split(clause, ",") {
 		kv = strings.TrimSpace(kv)
 		if kv == "" {
@@ -136,6 +152,14 @@ func parseChaosClause(clause string) (Chaos, error) {
 			delayMS = n
 		case "gens":
 			c.Gens = n
+		case "drop-conn-after":
+			c.DropConnAfter = n
+		case "blackhole-after":
+			c.BlackholeAfter = n
+		case "slowlink-ms":
+			slowMS = n
+		case "replay-after":
+			c.ReplayAfter = n
 		default:
 			return Chaos{}, fmt.Errorf("chaos: unknown key %q", k)
 		}
@@ -147,6 +171,9 @@ func parseChaosClause(clause string) (Chaos, error) {
 	c.Delay = 10 * time.Millisecond
 	if delayMS >= 0 {
 		c.Delay = time.Duration(delayMS) * time.Millisecond
+	}
+	if slowMS >= 0 {
+		c.SlowLink = time.Duration(slowMS) * time.Millisecond
 	}
 	return c, nil
 }

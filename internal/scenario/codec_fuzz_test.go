@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeFrame fuzzes the two codec layers every transport shares —
+// the length-prefixed frame reader and the Result codec — with the
+// totality contract the supervisor depends on: any mutation of the byte
+// stream yields ErrDecode (corruption) or io.EOF/io.ErrUnexpectedEOF
+// (truncation), a zero Result, and never a panic or a partially decoded
+// value surfacing as data.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: the codec_test.go shapes — hostile floats, empty values,
+	// framed streams, truncations, garbage, an oversized header.
+	hostile := Result{
+		Name:  "hostile",
+		Table: "t",
+		Values: map[string]float64{
+			"nan":     math.NaN(),
+			"posinf":  math.Inf(1),
+			"neginf":  math.Inf(-1),
+			"negzero": math.Copysign(0, -1),
+			"tiny":    5e-324,
+		},
+	}
+	enc, err := EncodeResult(hostile)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	empty, _ := EncodeResult(Result{Name: "empty"})
+	f.Add(empty)
+
+	frame := func(v any) []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, v); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	resp := frame(workerResponse{Spec: "s", Seed: 7, Epoch: 3, Result: enc})
+	f.Add(resp)
+	f.Add(bytes.Join([][]byte{resp, frame(workerResponse{Heartbeat: true})}, nil))
+	f.Add(resp[:len(resp)-3])                        // truncated mid-payload
+	f.Add(resp[:2])                                  // truncated mid-header
+	f.Add([]byte("chaos! not json {{{"))             // garbage
+	f.Add(append([]byte{0xff, 0xff, 0xff, 0xff}, 1)) // oversized header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Result codec: total, loud, and all-or-nothing.
+		if res, err := DecodeResult(data); err != nil {
+			if !errors.Is(err, ErrDecode) {
+				t.Errorf("DecodeResult error %v does not wrap ErrDecode", err)
+			}
+			if res.Name != "" || res.Table != "" || res.Values != nil {
+				t.Errorf("DecodeResult leaked a partial Result on error: %+v", res)
+			}
+		}
+
+		// Frame stream: drain frames until the stream ends; every failure
+		// must be a known truncation/corruption class, and any embedded
+		// Result payload must itself decode totally.
+		r := bytes.NewReader(data)
+		for {
+			var resp workerResponse
+			err := readFrame(r, &resp)
+			if err == nil {
+				if res, derr := DecodeResult(resp.Result); derr != nil {
+					if !errors.Is(derr, ErrDecode) {
+						t.Errorf("embedded Result error %v does not wrap ErrDecode", derr)
+					}
+					if res.Values != nil {
+						t.Errorf("embedded Result leaked values on error")
+					}
+				}
+				continue
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrDecode) {
+				t.Errorf("readFrame error %v is neither EOF-family nor ErrDecode", err)
+			}
+			break
+		}
+	})
+}
+
+// TestFuzzSeedHeaderGuard pins the oversized-header seed case outside the
+// fuzzer: a 4 GiB header must fail as ErrDecode before any allocation.
+func TestFuzzSeedHeaderGuard(t *testing.T) {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], 0xffffffff)
+	var v workerResponse
+	if err := readFrame(bytes.NewReader(hdr[:]), &v); !errors.Is(err, ErrDecode) {
+		t.Errorf("oversized header error = %v, want ErrDecode", err)
+	}
+}

@@ -40,13 +40,26 @@ type FaultPolicy struct {
 	DegradeToLocal bool
 	// ChunkSeeds is the number of consecutive seeds per lease.
 	ChunkSeeds int
+
+	// DialTimeout bounds one connection attempt to a remote TCP worker
+	// (Shard.Addrs). Connection-level failure detection starts here: an
+	// unreachable host fails the attempt instead of hanging the slot.
+	DialTimeout time.Duration
+	// FrameTimeout is the per-frame read deadline on a TCP worker
+	// connection: if no frame (response or heartbeat) arrives within it,
+	// the worker is declared partitioned and the connection is torn down.
+	// Healthy remote workers heartbeat every heartbeatEvery, far inside
+	// this deadline, so a long-running seed never trips it.
+	FrameTimeout time.Duration
 }
 
 // DefaultFaultPolicy returns the repository-wide supervision defaults:
 // three reassignments per chunk, a two-minute chunk deadline (every
 // registered experiment finishes a seed in well under a second), 100 ms
 // base restart backoff capped at 5 s, degradation to local execution
-// enabled, one seed per lease.
+// enabled, one seed per lease, a 5 s dial timeout and a 5 s per-frame
+// read deadline (heartbeats arrive every second, so only a partition —
+// never a slow seed — can exhaust it).
 func DefaultFaultPolicy() FaultPolicy {
 	return FaultPolicy{
 		MaxRetries:     3,
@@ -55,6 +68,8 @@ func DefaultFaultPolicy() FaultPolicy {
 		MaxBackoff:     5 * time.Second,
 		DegradeToLocal: true,
 		ChunkSeeds:     1,
+		DialTimeout:    5 * time.Second,
+		FrameTimeout:   5 * time.Second,
 	}
 }
 
@@ -86,7 +101,43 @@ func (p FaultPolicy) normalized() FaultPolicy {
 	if p.ChunkSeeds < 1 {
 		p.ChunkSeeds = def.ChunkSeeds
 	}
+	if p.DialTimeout == 0 {
+		p.DialTimeout = def.DialTimeout
+	} else if p.DialTimeout < 0 {
+		p.DialTimeout = 0
+	}
+	if p.FrameTimeout == 0 {
+		p.FrameTimeout = def.FrameTimeout
+	} else if p.FrameTimeout < 0 {
+		p.FrameTimeout = 0
+	}
 	return p
+}
+
+// backoffDelay is the restart pacing schedule: capped exponential with
+// full jitter on the upper half. For the k-th consecutive failure (k ≥ 1)
+// the base delay is RestartBackoff << (k-1), capped by MaxBackoff, and
+// the slept delay is uniformly drawn from [base/2, base] — so a crashing
+// fleet never restarts in lockstep. rnd supplies the jitter draw
+// (rand.Int63n-shaped); a disabled backoff (RestartBackoff ≤ 0 after
+// normalization) is always zero. Timing-only — jitter cannot reach any
+// result bit.
+func (p FaultPolicy) backoffDelay(consecFails int, rnd func(n int64) int64) time.Duration {
+	if p.RestartBackoff <= 0 {
+		return 0
+	}
+	shift := consecFails - 1
+	if shift < 0 {
+		shift = 0
+	} else if shift > 16 {
+		shift = 16
+	}
+	d := p.RestartBackoff << uint(shift)
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(rnd(int64(half)+1))
 }
 
 // failKind classifies one failed lease attempt. The supervisor detects
@@ -97,9 +148,9 @@ func (p FaultPolicy) normalized() FaultPolicy {
 type failKind int
 
 const (
-	failExit    failKind = iota // process died / pipe broke mid-exchange
-	failSpawn                   // worker process could not be started
-	failTimeout                 // chunk deadline exceeded; worker killed
+	failExit    failKind = iota // process died / pipe broke / connection dropped mid-exchange
+	failSpawn                   // worker process could not be started / connection could not be dialed
+	failTimeout                 // chunk deadline or per-frame read deadline exceeded; worker killed
 	failDecode                  // corrupt frame or undecodable Result
 	failApp                     // worker-reported error; terminal, never retried
 )
@@ -125,13 +176,14 @@ func (k failKind) String() string {
 // however many subprocesses have filled it.
 type WorkerHealth struct {
 	ID         int
-	Restarts   int64 // process starts beyond the slot's first
+	Restarts   int64 // process starts / reconnects beyond the slot's first
 	Chunks     int64 // leases completed
 	Seeds      int64 // seeds computed
-	SpawnFails int64 // failed process starts
-	Exits      int64 // leases failed by process exit / broken pipe
-	Timeouts   int64 // leases failed by chunk deadline
+	SpawnFails int64 // failed process starts / failed dials
+	Exits      int64 // leases failed by process exit / broken pipe / dropped connection
+	Timeouts   int64 // leases failed by chunk deadline or per-frame read deadline
 	DecodeErrs int64 // leases failed by corrupt frames / undecodable Results
+	Stales     int64 // stale frames discarded (wrong epoch/seed — zombie replays)
 }
 
 // Failures sums the slot's failed lease attempts across all detection
@@ -141,8 +193,8 @@ func (w WorkerHealth) Failures() int64 {
 }
 
 func (w WorkerHealth) String() string {
-	return fmt.Sprintf("[w%d] restarts %d, chunks %d (%d seeds), failures %d (%d exit, %d spawn, %d timeout, %d decode)",
-		w.ID, w.Restarts, w.Chunks, w.Seeds, w.Failures(), w.Exits, w.SpawnFails, w.Timeouts, w.DecodeErrs)
+	return fmt.Sprintf("[w%d] restarts %d, chunks %d (%d seeds), failures %d (%d exit, %d spawn, %d timeout, %d decode), %d stale frames dropped",
+		w.ID, w.Restarts, w.Chunks, w.Seeds, w.Failures(), w.Exits, w.SpawnFails, w.Timeouts, w.DecodeErrs, w.Stales)
 }
 
 // ShardHealth is a snapshot of the supervision counters for one Shard:
@@ -154,6 +206,16 @@ type ShardHealth struct {
 	Retries       int64 // chunk reassignments after a failed attempt
 	Quarantined   int64 // chunks degraded to in-process execution
 	DegradedSeeds int64 // seeds computed in-process by quarantined chunks
+	StaleReplies  int64 // lease replies discarded for a superseded epoch (zombie workers)
+}
+
+// Stales sums the stale frames discarded across every worker slot.
+func (h ShardHealth) Stales() int64 {
+	var n int64
+	for _, w := range h.Workers {
+		n += w.Stales
+	}
+	return n
 }
 
 // Failures sums failed lease attempts across every worker slot.
@@ -185,8 +247,8 @@ func (h ShardHealth) Chunks() int64 {
 
 // String renders the fleet-level line the CLIs report on stderr.
 func (h ShardHealth) String() string {
-	return fmt.Sprintf("shard: %d workers, %d chunks ok, %d failures, %d retries, %d restarts, %d quarantined (%d seeds degraded to local)",
-		len(h.Workers), h.Chunks(), h.Failures(), h.Retries, h.Restarts(), h.Quarantined, h.DegradedSeeds)
+	return fmt.Sprintf("shard: %d workers, %d chunks ok, %d failures, %d retries, %d restarts, %d quarantined (%d seeds degraded to local), %d stale drops",
+		len(h.Workers), h.Chunks(), h.Failures(), h.Retries, h.Restarts(), h.Quarantined, h.DegradedSeeds, h.Stales()+h.StaleReplies)
 }
 
 // WorkerLines renders one line per worker slot for run summaries.

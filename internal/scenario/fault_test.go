@@ -49,6 +49,21 @@ func TestParseChaos(t *testing.T) {
 		t.Errorf("Delay default = %v, want 10ms", c.Delay)
 	}
 
+	// Network verbs (TCP worker sessions).
+	c, err = ParseChaos("drop-conn-after=2,blackhole-after=3,slowlink-ms=40,replay-after=5", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DropConnAfter != 2 || c.BlackholeAfter != 3 || c.SlowLink != 40*time.Millisecond || c.ReplayAfter != 5 {
+		t.Errorf("network verbs parsed wrong: %+v", c)
+	}
+	if !c.active() {
+		t.Error("network chaos should be active")
+	}
+	if c, _ = ParseChaos("slowlink-ms=0", 0); c.active() {
+		t.Errorf("slowlink-ms=0 should be inactive, got %+v", c)
+	}
+
 	// The empty spec is no chaos.
 	if c, err = ParseChaos("", 0); err != nil || c.active() {
 		t.Errorf("empty spec: %+v / %v", c, err)
@@ -292,6 +307,74 @@ func TestShardWorkerStderrPrefixed(t *testing.T) {
 			t.Fatalf("worker stderr not prefixed: %q", buf.String())
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBackoffSchedule pins the restart pacing contract: capped
+// exponential growth with full jitter on the upper half of the base
+// delay, and negative-disables semantics.
+func TestBackoffSchedule(t *testing.T) {
+	p := FaultPolicy{RestartBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, DegradeToLocal: true}.normalized()
+	low := func(n int64) int64 { return 0 }
+	high := func(n int64) int64 { return n - 1 }
+
+	cases := []struct {
+		consecFails int
+		base        time.Duration // expected pre-jitter delay
+	}{
+		{0, 100 * time.Millisecond}, // clamped like the first failure
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 800 * time.Millisecond},
+		{5, time.Second},  // 1600ms capped by MaxBackoff
+		{40, time.Second}, // shift clamp keeps huge counts from overflowing
+	}
+	for _, c := range cases {
+		min, max := c.base/2, c.base
+		if got := p.backoffDelay(c.consecFails, low); got != min {
+			t.Errorf("fails=%d jitter floor: got %v, want %v", c.consecFails, got, min)
+		}
+		if got := p.backoffDelay(c.consecFails, high); got != max {
+			t.Errorf("fails=%d jitter ceiling: got %v, want %v", c.consecFails, got, max)
+		}
+	}
+
+	// The jitter draw spans exactly the upper half: rnd is asked for
+	// [0, base/2] inclusive.
+	var asked int64
+	p.backoffDelay(3, func(n int64) int64 { asked = n; return 0 })
+	if want := int64(200*time.Millisecond) + 1; asked != want {
+		t.Errorf("jitter range = %d, want %d", asked, want)
+	}
+
+	// Negative disables (via normalized), and a never-normalized zero stays
+	// zero — no jitter draw happens at all.
+	off := FaultPolicy{RestartBackoff: -1, DegradeToLocal: true}.normalized()
+	if got := off.backoffDelay(5, func(int64) int64 { t.Fatal("disabled backoff drew jitter"); return 0 }); got != 0 {
+		t.Errorf("disabled backoff = %v, want 0", got)
+	}
+}
+
+// TestShardDegradeSummaryLine pins the satellite: a fleet dead enough to
+// quarantine chunks must say so once on the shard's stderr sink, and the
+// count must land in health.
+func TestShardDegradeSummaryLine(t *testing.T) {
+	var buf syncBuffer
+	sh := &Shard{
+		Workers: 1,
+		Argv:    []string{os.Args[0], workerExitSentinel},
+		Policy:  fastPolicy(),
+		Stderr:  &buf,
+	}
+	defer sh.Close()
+	spec, _ := Lookup("test-shardable")
+	mustRun(t, &Runner{Executor: sh}, []Spec{spec}, Seeds(1, 3))
+	if want := "shard: 3 chunks degraded to local"; !strings.Contains(buf.String(), want) {
+		t.Errorf("degrade summary line missing: want %q in %q", want, buf.String())
+	}
+	if h := sh.Health(); h.Quarantined != 3 || h.DegradedSeeds != 3 {
+		t.Errorf("degrade counters: %s", h.Summary())
 	}
 }
 

@@ -1,0 +1,251 @@
+package scenario
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The TCP transport of the sweep fabric: the same length-prefixed JSON
+// frame protocol the stdio shard workers speak, lifted onto a network
+// connection so the fleet leaves the box. The coordinator side is
+// dialWorker/netConn (a slotConn the Shard supervisor drives exactly like
+// a subprocess); the worker side is ServeNet (the hidden -serve addr mode
+// of every frontend). Failure detection is connection-level: dial
+// timeouts, per-frame read deadlines kept alive by heartbeat frames, and
+// (epoch, spec, seed) matching that discards stale frames from zombie
+// sessions. Both ends are always the same build — exactly like the
+// subprocess transport — so there is still no version negotiation.
+
+// heartbeatEvery is the default interval at which a TCP worker session
+// emits liveness frames. It must sit far inside FaultPolicy.FrameTimeout:
+// the heartbeat is what lets the coordinator's per-frame read deadline
+// distinguish "computing a long seed" from "partitioned".
+const heartbeatEvery = 1 * time.Second
+
+// dialWorker opens one coordinator→worker TCP session. stales is the
+// owning slot's stale-frame counter.
+func dialWorker(addr string, pol FaultPolicy, stales *atomic.Int64) (slotConn, error) {
+	d := net.Dialer{Timeout: pol.DialTimeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	return &netConn{conn: conn, br: bufio.NewReader(conn), pol: pol, stales: stales}, nil
+}
+
+// netConn is the TCP slot transport. Unlike a subprocess's private stdio
+// stream, a TCP stream can carry frames a dead attempt left behind
+// (replays after a partition heals), so every response is matched on
+// (epoch, spec, seed) and mismatches are skipped — counted, never
+// surfaced as results.
+type netConn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	pol    FaultPolicy
+	stales *atomic.Int64
+}
+
+func (c *netConn) roundTrip(req workerRequest) (Result, failKind, error) {
+	if to := c.pol.FrameTimeout; to > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(to))
+	}
+	if err := writeFrame(c.conn, req); err != nil {
+		return Result{}, classifyNetErr(err), fmt.Errorf("net: send %s seed %d: %w", req.Spec, req.Seed, err)
+	}
+	for {
+		// The deadline re-arms per frame: any frame — heartbeat or response —
+		// proves the worker is alive, so only silence trips it.
+		if to := c.pol.FrameTimeout; to > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(to))
+		}
+		var resp workerResponse
+		if err := readFrame(c.br, &resp); err != nil {
+			kind := classifyNetErr(err)
+			if errors.Is(err, ErrDecode) {
+				kind = failDecode
+			}
+			return Result{}, kind, fmt.Errorf("net: %s seed %d: %w", req.Spec, req.Seed, err)
+		}
+		if resp.Heartbeat {
+			continue
+		}
+		if resp.Epoch != req.Epoch || resp.Spec != req.Spec || resp.Seed != req.Seed {
+			// A frame for some other attempt — a zombie session's replay.
+			// Skipping (rather than failing) lets the live exchange on this
+			// connection complete normally.
+			c.stales.Add(1)
+			continue
+		}
+		if resp.Err != "" {
+			return Result{}, failApp, fmt.Errorf("net: worker: %s", resp.Err)
+		}
+		res, err := DecodeResult(resp.Result)
+		if err != nil {
+			return Result{}, failDecode, fmt.Errorf("net: %s seed %d: %w", req.Spec, req.Seed, err)
+		}
+		return res, 0, nil
+	}
+}
+
+func (c *netConn) interrupt() { c.conn.Close() }
+func (c *netConn) abort()     { c.conn.Close() }
+func (c *netConn) shutdown()  { c.conn.Close() }
+
+// classifyNetErr maps a transport error to the supervisor's failure
+// taxonomy: a network timeout (per-frame deadline — i.e. a partition) is
+// failTimeout, anything else is the connection-dropped analogue of a
+// process exit.
+func classifyNetErr(err error) failKind {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return failTimeout
+	}
+	return failExit
+}
+
+// NetServeOptions configures a TCP worker server (ServeNet).
+type NetServeOptions struct {
+	// ChaosSpec is the raw fault-injection schedule (ParseChaos grammar).
+	// It is resolved per connection: a session's generation is the
+	// accept-order index of its connection on the listener, so "genN:"
+	// clauses target the N-th accepted connection — a dropped connection's
+	// replacement is the next generation, mirroring subprocess restarts.
+	ChaosSpec string
+	// Extra specs are resolvable by name ahead of the registry, mirroring
+	// ServeWorker — frontends pass their flag-built ad-hoc specs here.
+	Extra []Spec
+	// Heartbeat is the liveness-frame interval; 0 means heartbeatEvery,
+	// negative disables heartbeats (tests only — a real worker without
+	// heartbeats is indistinguishable from a partitioned one on long seeds).
+	Heartbeat time.Duration
+	// Log is the diagnostics sink; nil means os.Stderr.
+	Log io.Writer
+}
+
+// ServeNet serves the shard worker protocol on ln until the listener
+// closes. Each accepted connection is one independent worker session,
+// served concurrently; a malformed chaos schedule is a startup error.
+func ServeNet(ln net.Listener, o NetServeOptions) error {
+	if _, err := ParseChaos(o.ChaosSpec, 0); err != nil {
+		return fmt.Errorf("worker: %w", err)
+	}
+	hb := o.Heartbeat
+	if hb == 0 {
+		hb = heartbeatEvery
+	}
+	logw := o.Log
+	if logw == nil {
+		logw = os.Stderr
+	}
+	byName := specIndex(o.Extra)
+	for gen := 0; ; gen++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("worker: accept: %w", err)
+		}
+		chaos, _ := ParseChaos(o.ChaosSpec, gen) // validated above
+		go serveNetSession(conn, hb, chaos, byName, logw, gen)
+	}
+}
+
+// ListenAndServeNet listens on addr and serves the worker protocol — the
+// body of the hidden -serve flag.
+func ListenAndServeNet(addr string, o NetServeOptions) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("worker: %w", err)
+	}
+	logw := o.Log
+	if logw == nil {
+		logw = os.Stderr
+	}
+	fmt.Fprintf(logw, "worker: serving on %s\n", ln.Addr())
+	return ServeNet(ln, o)
+}
+
+// serveNetSession is the per-connection loop: requests in, heartbeats and
+// responses out (serialized by a write mutex so a heartbeat can never
+// split a response frame). Responses come from the same handleRequest the
+// stdio worker uses, so the two transports cannot diverge semantically.
+func serveNetSession(conn net.Conn, hb time.Duration, chaos Chaos, byName map[string]Spec, logw io.Writer, gen int) {
+	defer conn.Close()
+	var wmu sync.Mutex
+	write := func(resp workerResponse) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return writeFrame(conn, resp)
+	}
+	var hbOff atomic.Bool
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	if hb > 0 {
+		go func() {
+			t := time.NewTicker(hb)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					if hbOff.Load() {
+						continue
+					}
+					if write(workerResponse{Heartbeat: true}) != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	br := bufio.NewReader(conn)
+	var prev *workerResponse
+	blackholed := false
+	for n := 1; ; n++ {
+		var req workerRequest
+		if err := readFrame(br, &req); err != nil {
+			return // coordinator closed (or broke) the connection
+		}
+		if blackholed {
+			continue // swallow everything; the coordinator's deadline reaps us
+		}
+		if chaos.SlowLink > 0 {
+			time.Sleep(chaos.SlowLink)
+		}
+		if chaos.DelayEvery > 0 && n%chaos.DelayEvery == 0 {
+			time.Sleep(chaos.Delay)
+		}
+		if chaos.DropConnAfter > 0 && n == chaos.DropConnAfter {
+			fmt.Fprintf(logw, "chaos: dropping connection on request %d (gen %d)\n", n, gen)
+			return
+		}
+		if chaos.BlackholeAfter > 0 && n == chaos.BlackholeAfter {
+			fmt.Fprintf(logw, "chaos: blackholing connection from request %d (gen %d)\n", n, gen)
+			hbOff.Store(true)
+			blackholed = true
+			continue
+		}
+		resp := handleRequest(req, byName)
+		if chaos.ReplayAfter > 0 && n == chaos.ReplayAfter && prev != nil {
+			// A stale frame ahead of the real response: the coordinator must
+			// discard it on (epoch, spec, seed) and still complete cleanly.
+			fmt.Fprintf(logw, "chaos: replaying stale frame before response %d (gen %d)\n", n, gen)
+			if write(*prev) != nil {
+				return
+			}
+		}
+		if write(resp) != nil {
+			return
+		}
+		prev = &resp
+	}
+}

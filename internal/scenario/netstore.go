@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The shared remote result store: cache.go's content-addressed entry
+// space lifted onto TCP so a whole worker fleet fills one cache. The
+// protocol is GET/PUT over the same length-prefixed frame codec the shard
+// workers speak; keys are the same entryRel paths the local layout uses
+// (code-version digest and all), so remote entries are exactly as
+// collision-safe and staleness-safe as local ones, and a store directory
+// is interchangeable with a cache directory.
+
+// storeTimeout bounds one store operation end to end (dial, frame write,
+// frame read). The store is an optimization: a slow store is an outage,
+// and outages degrade to the local dir rather than stall the sweep.
+const storeTimeout = 5 * time.Second
+
+// storeRequest is one client→store operation.
+type storeRequest struct {
+	Op   string `json:"op"`             // "get" | "put"
+	Key  string `json:"key"`            // entryRel-shaped relative path
+	Data []byte `json:"data,omitempty"` // put: EncodeResult bytes
+}
+
+// storeResponse answers one operation. A get for an absent entry is
+// Found=false with no Err — absence is a cache miss, not a failure.
+type storeResponse struct {
+	Found bool   `json:"found,omitempty"` // get: entry exists; Data carries it
+	Data  []byte `json:"data,omitempty"`  // get: EncodeResult bytes
+	Err   string `json:"err,omitempty"`   // per-request error (bad key, undecodable put, failed write)
+}
+
+// ServeStore serves the result-store protocol on ln, backed by dir (the
+// same on-disk layout as a local Cache), until the listener closes. Every
+// put is decoded and atomically re-encoded to disk, so a malicious or
+// torn payload can never become a stored entry; every key is validated
+// against path escapes.
+func ServeStore(ln net.Listener, dir string) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("store: accept: %w", err)
+		}
+		go serveStoreConn(conn, diskStore{root: dir})
+	}
+}
+
+// ListenAndServeStore listens on addr and serves the result store — the
+// body of the -serve-store flag.
+func ListenAndServeStore(addr, dir string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "store: serving %s on %s\n", dir, ln.Addr())
+	return ServeStore(ln, dir)
+}
+
+func serveStoreConn(conn net.Conn, disk diskStore) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		var req storeRequest
+		if err := readFrame(br, &req); err != nil {
+			return
+		}
+		var resp storeResponse
+		switch {
+		case !validStoreKey(req.Key):
+			resp.Err = fmt.Sprintf("bad key %q", req.Key)
+		case req.Op == "get":
+			if res, ok := disk.load(req.Key); ok {
+				data, err := EncodeResult(res)
+				if err == nil {
+					resp.Found, resp.Data = true, data
+				}
+			}
+		case req.Op == "put":
+			res, err := DecodeResult(req.Data)
+			if err == nil {
+				err = disk.store(req.Key, res)
+			}
+			if err != nil {
+				resp.Err = err.Error()
+			}
+		default:
+			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// validStoreKey admits exactly the entryRel shape: a relative
+// slash-separated path with no empty, ".", ".." or backslashed segments —
+// so no request can read or write outside the store root.
+func validStoreKey(key string) bool {
+	if key == "" || path.IsAbs(key) || strings.Contains(key, "\\") {
+		return false
+	}
+	for _, seg := range strings.Split(key, "/") {
+		if seg == "" || seg == "." || seg == ".." {
+			return false
+		}
+	}
+	return true
+}
+
+// remoteStore is the client side: an entryStore over one lazily dialed,
+// mutex-serialized connection. The first transport failure latches the
+// store down for the rest of the process — counted as an outage — and
+// every subsequent operation goes to the local fallback dir, so a store
+// outage costs hits, never correctness and never a stalled sweep.
+type remoteStore struct {
+	addr     string
+	fallback diskStore
+	outages  *atomic.Int64
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	down bool
+}
+
+func (r *remoteStore) load(rel string) (Result, bool) {
+	resp, ok := r.exchange(storeRequest{Op: "get", Key: rel})
+	if !ok {
+		return r.fallback.load(rel)
+	}
+	if !resp.Found {
+		return Result{}, false // healthy store, genuine miss
+	}
+	res, err := DecodeResult(resp.Data)
+	if err != nil {
+		return Result{}, false // corrupt entry is a miss, mirroring diskStore
+	}
+	return res, true
+}
+
+func (r *remoteStore) store(rel string, res Result) error {
+	data, err := EncodeResult(res)
+	if err != nil {
+		return err
+	}
+	resp, ok := r.exchange(storeRequest{Op: "put", Key: rel, Data: data})
+	if !ok {
+		return r.fallback.store(rel, res)
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("store: %s", resp.Err)
+	}
+	return nil
+}
+
+// exchange performs one store round trip; ok=false means the store is
+// (now) down and the caller must use the fallback.
+func (r *remoteStore) exchange(req storeRequest) (storeResponse, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down {
+		return storeResponse{}, false
+	}
+	if r.conn == nil {
+		conn, err := net.DialTimeout("tcp", r.addr, storeTimeout)
+		if err != nil {
+			r.fail(err)
+			return storeResponse{}, false
+		}
+		r.conn, r.br = conn, bufio.NewReader(conn)
+	}
+	r.conn.SetDeadline(time.Now().Add(storeTimeout))
+	if err := writeFrame(r.conn, req); err != nil {
+		r.fail(err)
+		return storeResponse{}, false
+	}
+	var resp storeResponse
+	if err := readFrame(r.br, &resp); err != nil {
+		r.fail(err)
+		return storeResponse{}, false
+	}
+	return resp, true
+}
+
+// fail latches the store down after a transport error.
+func (r *remoteStore) fail(err error) {
+	r.down = true
+	r.outages.Add(1)
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+	fmt.Fprintf(os.Stderr, "scenario: result store %s unreachable, degrading to local cache dir: %v\n", r.addr, err)
+}
+
+func (r *remoteStore) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+}

@@ -15,41 +15,54 @@ import (
 	"time"
 )
 
-// Shard executes seeds on a supervised pool of worker subprocesses, each
-// the current binary re-executed with the hidden -worker flag (plus the
-// original command line, so workers rebuild any flag-parameterized specs
-// identically) speaking the length-prefixed JSON protocol in worker.go.
+// Shard executes seeds on a supervised pool of worker slots. A slot's
+// transport is one of two interchangeable kinds speaking the same
+// length-prefixed JSON frame protocol:
+//
+//   - subprocess (default): the current binary re-executed with the hidden
+//     -worker flag (plus the original command line, so workers rebuild any
+//     flag-parameterized specs identically) over stdin/stdout;
+//   - remote TCP (Addrs set): a connection dialed to a worker serving the
+//     same protocol over TCP (the hidden -serve addr mode, see ServeNet),
+//     so the fleet leaves the box.
 //
 // Supervision. A coordinator leases (spec, seed-chunk) units to worker
-// slots. A slot detects failure three ways — process exit (or broken
-// pipe), per-chunk deadline timeout, and frame/Result decode error — and
-// on any of them the dead process is reaped, the slot restarts it on
-// demand with capped exponential backoff plus jitter, and the chunk is
-// reassigned to a healthy worker. A chunk that exhausts its retry budget
-// is quarantined to in-process execution (graceful degradation to the
-// Local path) when the policy allows, so a run only errors when every
-// path is exhausted. Because every seed is deterministic and Results
-// cross the boundary bit-exactly, a retried or degraded chunk is
-// indistinguishable from a first-attempt one: the fabric tolerates
-// crashes, hangs and corrupt frames without costing a single output bit
-// (the chaos-injected cross-backend equivalence test pins exactly that).
-// Worker-reported application errors (unknown spec, experiment panic) are
-// terminal: the fleet is healthy, so retrying cannot fix the request.
+// slots. A slot detects failure at the process level (exit, broken pipe),
+// the connection level (dial timeout, dropped connection, per-frame read
+// deadline with heartbeat keep-alive — a partitioned TCP worker stops
+// heartbeating and is torn down), the time level (per-chunk deadline), and
+// the stream level (frame/Result decode error); on any of them the dead
+// transport is reaped, the slot reconnects or respawns on demand with
+// capped exponential backoff plus jitter, and the chunk is reassigned.
+// Every lease attempt carries a fresh epoch: responses are matched on
+// (epoch, spec, seed), so a zombie or partitioned worker replaying a stale
+// chunk after its lease was reassigned is discarded — counted, never
+// double-emitted. A chunk that exhausts its retry budget is quarantined to
+// in-process execution (graceful degradation to the Local path) when the
+// policy allows, so a run only errors when every path is exhausted.
+// Because every seed is deterministic and Results cross the boundary
+// bit-exactly, a retried or degraded chunk is indistinguishable from a
+// first-attempt one: the fabric tolerates crashes, hangs, partitions and
+// corrupt frames without costing a single output bit (the chaos-injected
+// cross-backend equivalence test pins exactly that). Worker-reported
+// application errors (unknown spec, experiment panic) are terminal: the
+// fleet is healthy, so retrying cannot fix the request.
 //
 // The pool starts lazily on the first Run and is shared across concurrent
 // Run calls, so a Runner fanning the whole registry over one Shard keeps
-// exactly Workers subprocesses busy. Results are reordered into seed
-// order before emission, so the aggregate is bit-identical to the Local
+// exactly Workers transports busy. Results are reordered into seed order
+// before emission, so the aggregate is bit-identical to the Local
 // backend's. Close shuts the workers down; callers that finished running
-// should Close to reap the subprocesses. Health returns the supervision
-// counters accumulated so far.
+// should Close to reap subprocesses and connections. Health returns the
+// supervision counters accumulated so far.
 type Shard struct {
-	Workers int         // subprocess count; values < 1 mean runtime.NumCPU()
+	Workers int         // slot count; values < 1 mean runtime.NumCPU() (or len(Addrs) for TCP)
 	Argv    []string    // worker command; nil means {os.Executable(), "-worker", os.Args[1:]...}
-	Env     []string    // extra KEY=VALUE pairs for worker processes
-	Chaos   string      // fault-injection schedule exported to workers as REPRO_CHAOS (see ParseChaos)
+	Env     []string    // extra KEY=VALUE pairs for worker subprocesses
+	Addrs   []string    // remote TCP worker addresses; non-empty selects the TCP transport
+	Chaos   string      // fault-injection schedule exported to subprocess workers as REPRO_CHAOS (see ParseChaos)
 	Policy  FaultPolicy // supervision knobs; zero value means DefaultFaultPolicy
-	Stderr  io.Writer   // sink for worker stderr, each line prefixed "[wN] "; nil means os.Stderr
+	Stderr  io.Writer   // sink for worker stderr and coordinator notices, worker lines prefixed "[wN] "; nil means os.Stderr
 
 	once     sync.Once
 	startErr error
@@ -59,47 +72,66 @@ type Shard struct {
 	wg       sync.WaitGroup
 	slots    []*workerSlot
 
-	retries     atomic.Int64
-	quarantined atomic.Int64
-	degraded    atomic.Int64
+	epochs       atomic.Int64 // lease-epoch allocator; every attempt gets a unique epoch
+	retries      atomic.Int64
+	quarantined  atomic.Int64
+	degraded     atomic.Int64
+	staleReplies atomic.Int64
 }
 
 // lease is one (spec, seed-chunk) unit of work: a run of consecutive
 // seeds starting at index ki0 of the Run's seed slice, with its reply
-// route and the coordinator-owned failed-attempt count.
+// route, the coordinator-owned failed-attempt count and the epoch of the
+// attempt currently in flight. Ownership alternates over the jobs/reply
+// channels, so epoch and attempts are never accessed concurrently.
 type lease struct {
 	spec     Spec
 	seeds    []int64
 	ki0      int
 	attempts int
+	epoch    int64
 	reply    chan<- leaseResult
 }
 
 type leaseResult struct {
 	l      *lease
+	epoch  int64    // the epoch this attempt ran under
 	res    []Result // len(l.seeds) on success
 	worker int      // slot id; -1 for quarantined in-process execution
 	kind   failKind
 	err    error
 }
 
+// slotConn is one live transport session filling a worker slot: a
+// subprocess's stdio pipes or a dialed TCP connection. roundTrip performs
+// one request/response exchange and classifies any failure; interrupt
+// makes blocked I/O fail now (the chunk-deadline enforcement); abort is
+// the hard teardown after a fault; shutdown the graceful close at pool
+// shutdown.
+type slotConn interface {
+	roundTrip(req workerRequest) (Result, failKind, error)
+	interrupt()
+	abort()
+	shutdown()
+}
+
 // workerSlot supervises one worker position in the pool: it owns at most
-// one live subprocess at a time, restarts it on demand after failures,
-// and keeps the slot-stable health counters. The slot id is stable across
-// restarts — it names the [wN] stderr prefix and the health row.
+// one live transport session at a time, reopens it on demand after
+// failures, and keeps the slot-stable health counters. The slot id is
+// stable across restarts — it names the [wN] stderr prefix and the health
+// row.
 type workerSlot struct {
-	id int
-	sh *Shard
+	id   int
+	sh   *Shard
+	open func() (slotConn, error) // transport factory: spawn subprocess or dial TCP
 
-	cmd *exec.Cmd
-	in  io.WriteCloser
-	out *bufio.Reader
-	gen int // processes started in this slot so far
+	conn slotConn
+	gen  int // sessions opened in this slot so far
 
-	consecFails int // consecutive failed leases/spawns, drives the backoff
+	consecFails int // consecutive failed leases/opens, drives the backoff
 
-	restarts, chunks, seeds              atomic.Int64
-	spawnFails, exits, timeouts, decodes atomic.Int64
+	restarts, chunks, seeds                      atomic.Int64
+	spawnFails, exits, timeouts, decodes, stales atomic.Int64
 }
 
 // workerArgv builds the default worker command line. The -worker flag goes
@@ -115,31 +147,44 @@ func workerArgv() ([]string, error) {
 
 func (s *Shard) start() {
 	s.pol = s.Policy.normalized()
-	argv := s.Argv
-	if argv == nil {
-		argv, s.startErr = workerArgv()
-		if s.startErr != nil {
-			return
-		}
-	}
-	s.argv = argv
 	n := s.Workers
-	if n < 1 {
-		n = runtime.NumCPU()
+	if len(s.Addrs) > 0 {
+		if n < 1 {
+			n = len(s.Addrs)
+		}
+	} else {
+		argv := s.Argv
+		if argv == nil {
+			argv, s.startErr = workerArgv()
+			if s.startErr != nil {
+				return
+			}
+		}
+		s.argv = argv
+		if n < 1 {
+			n = runtime.NumCPU()
+		}
 	}
 	s.jobs = make(chan *lease)
 	s.slots = make([]*workerSlot, n)
 	for i := 0; i < n; i++ {
-		s.slots[i] = &workerSlot{id: i, sh: s}
+		w := &workerSlot{id: i, sh: s}
+		if len(s.Addrs) > 0 {
+			addr := s.Addrs[i%len(s.Addrs)] // slots round-robin over the fleet
+			w.open = func() (slotConn, error) { return dialWorker(addr, s.pol, &w.stales) }
+		} else {
+			w.open = w.spawnWorker
+		}
+		s.slots[i] = w
 		s.wg.Add(1)
-		go s.slots[i].supervise()
+		go w.supervise()
 	}
 }
 
-// supervise is one slot's loop: take a lease, make sure a worker process
-// is running (spawning is lazy and retried with backoff), run the chunk,
-// report the outcome. Any fault kills the process; the next lease spawns
-// a fresh one.
+// supervise is one slot's loop: take a lease, make sure a transport
+// session is live (opening is lazy and retried with backoff), run the
+// chunk, report the outcome. Any fault tears the session down; the next
+// lease opens a fresh one.
 func (w *workerSlot) supervise() {
 	defer w.sh.wg.Done()
 	defer w.stop()
@@ -147,8 +192,8 @@ func (w *workerSlot) supervise() {
 		if err := w.ensureStarted(); err != nil {
 			w.spawnFails.Add(1)
 			w.consecFails++
-			l.reply <- leaseResult{l: l, worker: w.id, kind: failSpawn,
-				err: fmt.Errorf("shard: [w%d] spawn worker: %w", w.id, err)}
+			l.reply <- leaseResult{l: l, epoch: l.epoch, worker: w.id, kind: failSpawn,
+				err: fmt.Errorf("shard: [w%d] open worker: %w", w.id, err)}
 			w.backoff()
 			continue
 		}
@@ -161,34 +206,48 @@ func (w *workerSlot) supervise() {
 				w.decodes.Add(1)
 			case failApp:
 				// The worker answered; the request itself is broken. Keep
-				// the process and report the terminal error.
-				l.reply <- leaseResult{l: l, worker: w.id, kind: kind, err: err}
+				// the session and report the terminal error.
+				l.reply <- leaseResult{l: l, epoch: l.epoch, worker: w.id, kind: kind, err: err}
 				continue
 			default:
 				w.exits.Add(1)
 			}
 			w.consecFails++
 			w.kill()
-			l.reply <- leaseResult{l: l, worker: w.id, kind: kind, err: err}
+			l.reply <- leaseResult{l: l, epoch: l.epoch, worker: w.id, kind: kind, err: err}
 			w.backoff()
 			continue
 		}
 		w.consecFails = 0
 		w.chunks.Add(1)
 		w.seeds.Add(int64(len(l.seeds)))
-		l.reply <- leaseResult{l: l, worker: w.id, res: res}
+		l.reply <- leaseResult{l: l, epoch: l.epoch, worker: w.id, res: res}
 	}
 }
 
-// ensureStarted spawns the slot's worker process if none is live. The
-// process gets the slot id and its generation in the environment (plus
-// any chaos schedule), and its stderr is streamed to the shard's sink
-// with a stable "[wN] " prefix so interleaved diagnostics from a
-// restarted fleet stay attributable.
+// ensureStarted opens the slot's transport session if none is live.
 func (w *workerSlot) ensureStarted() error {
-	if w.cmd != nil {
+	if w.conn != nil {
 		return nil
 	}
+	conn, err := w.open()
+	if err != nil {
+		return err
+	}
+	if w.gen > 0 {
+		w.restarts.Add(1)
+	}
+	w.gen++
+	w.conn = conn
+	return nil
+}
+
+// spawnWorker starts one worker subprocess for the slot. The process gets
+// the slot id and its generation in the environment (plus any chaos
+// schedule), and its stderr is streamed to the shard's sink with a stable
+// "[wN] " prefix so interleaved diagnostics from a restarted fleet stay
+// attributable.
+func (w *workerSlot) spawnWorker() (slotConn, error) {
 	argv := w.sh.argv
 	cmd := exec.Command(argv[0], argv[1:]...)
 	env := append(os.Environ(),
@@ -204,25 +263,25 @@ func (w *workerSlot) ensureStarted() error {
 	// dying worker's diagnostics.
 	stderrR, stderrW, err := os.Pipe()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cmd.Stderr = stderrW
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		stderrR.Close()
 		stderrW.Close()
-		return err
+		return nil, err
 	}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		stderrR.Close()
 		stderrW.Close()
-		return err
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
 		stderrR.Close()
 		stderrW.Close()
-		return fmt.Errorf("start %q: %w", argv[0], err)
+		return nil, fmt.Errorf("start %q: %w", argv[0], err)
 	}
 	stderrW.Close() // child holds the write end now
 	sink := w.sh.Stderr
@@ -230,31 +289,26 @@ func (w *workerSlot) ensureStarted() error {
 		sink = os.Stderr
 	}
 	go prefixLines(sink, stderrR, fmt.Sprintf("[w%d] ", w.id))
-	if w.gen > 0 {
-		w.restarts.Add(1)
-	}
-	w.gen++
-	w.cmd, w.in, w.out = cmd, stdin, bufio.NewReader(stdout)
-	return nil
+	return &procConn{cmd: cmd, in: stdin, out: bufio.NewReader(stdout)}, nil
 }
 
 // runLease exchanges the chunk's (request, response) frames with the live
-// worker under the chunk deadline. The deadline is enforced by killing
-// the process — the blocked read then fails and the failure is classified
-// as a timeout.
+// session under the chunk deadline. The deadline is enforced by
+// interrupting the transport — the blocked exchange then fails and the
+// failure is classified as a timeout.
 func (w *workerSlot) runLease(l *lease) ([]Result, failKind, error) {
 	var timedOut atomic.Bool
 	if to := w.sh.pol.ChunkTimeout; to > 0 {
-		proc := w.cmd.Process
+		conn := w.conn
 		t := time.AfterFunc(to, func() {
 			timedOut.Store(true)
-			proc.Kill()
+			conn.interrupt()
 		})
 		defer t.Stop()
 	}
 	out := make([]Result, len(l.seeds))
 	for i, seed := range l.seeds {
-		res, kind, err := roundTrip(w.in, w.out, l.spec.Name, seed)
+		res, kind, err := w.conn.roundTrip(workerRequest{Spec: l.spec.Name, Seed: seed, Epoch: l.epoch})
 		if err != nil {
 			if timedOut.Load() && kind != failApp {
 				kind = failTimeout
@@ -268,59 +322,91 @@ func (w *workerSlot) runLease(l *lease) ([]Result, failKind, error) {
 	return out, 0, nil
 }
 
-// kill reaps the slot's worker process after a fault.
+// kill reaps the slot's transport session after a fault.
 func (w *workerSlot) kill() {
-	if w.cmd == nil {
+	if w.conn == nil {
 		return
 	}
-	w.cmd.Process.Kill()
-	w.in.Close()
-	w.cmd.Wait()
-	w.cmd, w.in, w.out = nil, nil, nil
+	w.conn.abort()
+	w.conn = nil
 }
 
-// stop shuts the slot's worker down gracefully at Close: EOF on stdin
-// asks it to exit; a wedged process is killed after a grace period.
+// stop shuts the slot's session down gracefully at Close.
 func (w *workerSlot) stop() {
-	if w.cmd == nil {
+	if w.conn == nil {
 		return
 	}
-	w.in.Close()
+	w.conn.shutdown()
+	w.conn = nil
+}
+
+// backoff sleeps the capped exponential restart delay with full jitter
+// (see FaultPolicy.backoffDelay) so a crashing fleet never restarts in
+// lockstep. Timing-only — jitter cannot reach any result bit.
+func (w *workerSlot) backoff() {
+	if d := w.sh.pol.backoffDelay(w.consecFails, rand.Int63n); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// procConn is the subprocess transport: the worker's stdio pipes plus the
+// process handle for teardown.
+type procConn struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out *bufio.Reader
+}
+
+// roundTrip performs one request/response exchange with the subprocess
+// and classifies any failure for the supervisor. The stdio stream is
+// strictly ordered and private to this parent, so no stale-frame scan is
+// needed: the next frame is the response (the worker echoes the epoch
+// regardless, and the TCP transport checks it).
+func (c *procConn) roundTrip(req workerRequest) (Result, failKind, error) {
+	if err := writeFrame(c.in, req); err != nil {
+		return Result{}, failExit, fmt.Errorf("shard: send %s seed %d: %w", req.Spec, req.Seed, err)
+	}
+	var resp workerResponse
+	if err := readFrame(c.out, &resp); err != nil {
+		kind := failExit
+		if errors.Is(err, ErrDecode) {
+			kind = failDecode
+		}
+		return Result{}, kind, fmt.Errorf("shard: %s seed %d: %w", req.Spec, req.Seed, err)
+	}
+	if resp.Err != "" {
+		return Result{}, failApp, fmt.Errorf("shard: worker: %s", resp.Err)
+	}
+	res, err := DecodeResult(resp.Result)
+	if err != nil {
+		return Result{}, failDecode, fmt.Errorf("shard: %s seed %d: %w", req.Spec, req.Seed, err)
+	}
+	return res, 0, nil
+}
+
+func (c *procConn) interrupt() { c.cmd.Process.Kill() }
+
+func (c *procConn) abort() {
+	c.cmd.Process.Kill()
+	c.in.Close()
+	c.cmd.Wait()
+}
+
+// shutdown closes the worker gracefully: EOF on stdin asks it to exit; a
+// wedged process is killed after a grace period.
+func (c *procConn) shutdown() {
+	c.in.Close()
 	done := make(chan struct{})
 	go func() {
-		w.cmd.Wait()
+		c.cmd.Wait()
 		close(done)
 	}()
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):
-		w.cmd.Process.Kill()
+		c.cmd.Process.Kill()
 		<-done
 	}
-	w.cmd, w.in, w.out = nil, nil, nil
-}
-
-// backoff sleeps the capped exponential restart delay with jitter: base
-// RestartBackoff doubling per consecutive failure up to MaxBackoff, the
-// upper half fully jittered so a crashing fleet never restarts in
-// lockstep. Timing-only — jitter cannot reach any result bit.
-func (w *workerSlot) backoff() {
-	pol := w.sh.pol
-	if pol.RestartBackoff <= 0 {
-		return
-	}
-	shift := w.consecFails - 1
-	if shift < 0 {
-		shift = 0
-	} else if shift > 16 {
-		shift = 16
-	}
-	d := pol.RestartBackoff << uint(shift)
-	if pol.MaxBackoff > 0 && d > pol.MaxBackoff {
-		d = pol.MaxBackoff
-	}
-	half := d / 2
-	time.Sleep(half + time.Duration(rand.Int63n(int64(half)+1)))
 }
 
 // prefixLines copies src to dst line by line with the given prefix.
@@ -335,33 +421,11 @@ func prefixLines(dst io.Writer, src io.Reader, prefix string) {
 	}
 }
 
-// roundTrip performs one request/response exchange with a worker and
-// classifies any failure for the supervisor.
-func roundTrip(in io.Writer, out *bufio.Reader, spec string, seed int64) (Result, failKind, error) {
-	if err := writeFrame(in, workerRequest{Spec: spec, Seed: seed}); err != nil {
-		return Result{}, failExit, fmt.Errorf("shard: send %s seed %d: %w", spec, seed, err)
-	}
-	var resp workerResponse
-	if err := readFrame(out, &resp); err != nil {
-		kind := failExit
-		if errors.Is(err, ErrDecode) {
-			kind = failDecode
-		}
-		return Result{}, kind, fmt.Errorf("shard: %s seed %d: %w", spec, seed, err)
-	}
-	if resp.Err != "" {
-		return Result{}, failApp, fmt.Errorf("shard: worker: %s", resp.Err)
-	}
-	res, err := DecodeResult(resp.Result)
-	if err != nil {
-		return Result{}, failDecode, fmt.Errorf("shard: %s seed %d: %w", spec, seed, err)
-	}
-	return res, 0, nil
-}
-
 // Run fans the seeds across the worker pool as (spec, seed-chunk) leases
 // and emits the Results in seed order. Failed leases are retried up to
-// the policy's budget, then quarantined to in-process execution when
+// the policy's budget — each retry under a fresh lease epoch, so a zombie
+// attempt that outlived its reassignment is discarded rather than
+// double-emitted — then quarantined to in-process execution when
 // degradation is enabled; the call errors only when a chunk has exhausted
 // every path (or a worker reports a terminal application error).
 func (s *Shard) Run(spec Spec, seeds []int64, emit Emit) error {
@@ -384,7 +448,8 @@ func (s *Shard) Run(spec Spec, seeds []int64, emit Emit) error {
 		if j > len(seeds) {
 			j = len(seeds)
 		}
-		leases = append(leases, &lease{spec: spec, seeds: seeds[i:j], ki0: i, reply: reply})
+		leases = append(leases, &lease{spec: spec, seeds: seeds[i:j], ki0: i,
+			epoch: s.epochs.Add(1), reply: reply})
 	}
 	go func() {
 		for _, l := range leases {
@@ -394,8 +459,18 @@ func (s *Shard) Run(spec Spec, seeds []int64, emit Emit) error {
 
 	ord := newReorder(emit)
 	var firstErr error
+	degradedChunks := 0
 	for outstanding := len(leases); outstanding > 0; {
 		r := <-reply
+		if r.epoch != r.l.epoch {
+			// A reply from an attempt whose lease has since been reassigned
+			// (a zombie worker past a partition): the live attempt owns the
+			// lease now, so this one — success or failure — is void. Dropping
+			// it is what makes reassignment safe: exactly one attempt per
+			// lease can ever reach the emit path.
+			s.staleReplies.Add(1)
+			continue
+		}
 		switch {
 		case r.err == nil:
 			if firstErr == nil {
@@ -415,16 +490,28 @@ func (s *Shard) Run(spec Spec, seeds []int64, emit Emit) error {
 			outstanding--
 		case r.l.attempts < pol.MaxRetries:
 			r.l.attempts++
+			r.l.epoch = s.epochs.Add(1)
 			s.retries.Add(1)
 			go func(l *lease) { s.jobs <- l }(r.l)
 		case pol.DegradeToLocal:
 			s.quarantined.Add(1)
+			degradedChunks++
 			go s.runQuarantined(r.l)
 		default:
 			firstErr = fmt.Errorf("shard: %s seeds %v: %d worker attempts exhausted and degrade-to-local disabled: %w",
 				spec.Name, r.l.seeds, r.l.attempts+1, r.err)
 			outstanding--
 		}
+	}
+	if degradedChunks > 0 {
+		// Degradation is graceful, not silent: one summary line per Run names
+		// how much of the sweep the fleet failed to carry (the same count
+		// lands in Health().Quarantined).
+		sink := s.Stderr
+		if sink == nil {
+			sink = os.Stderr
+		}
+		fmt.Fprintf(sink, "shard: %d chunks degraded to local\n", degradedChunks)
 	}
 	return firstErr
 }
@@ -438,24 +525,25 @@ func (s *Shard) runQuarantined(l *lease) {
 	for i, seed := range l.seeds {
 		r, err := executeSafe(l.spec, seed)
 		if err != nil {
-			l.reply <- leaseResult{l: l, worker: -1, kind: failApp,
+			l.reply <- leaseResult{l: l, epoch: l.epoch, worker: -1, kind: failApp,
 				err: fmt.Errorf("shard: quarantined chunk: %w", err)}
 			return
 		}
 		res[i] = r
 	}
 	s.degraded.Add(int64(len(l.seeds)))
-	l.reply <- leaseResult{l: l, worker: -1, res: res}
+	l.reply <- leaseResult{l: l, epoch: l.epoch, worker: -1, res: res}
 }
 
 // Health snapshots the supervision counters: per-slot worker health plus
-// the coordinator's retry/quarantine totals. A Shard that never ran
+// the coordinator's retry/quarantine/stale totals. A Shard that never ran
 // reports an empty fleet; a fault-free run reports all-zero counters.
 func (s *Shard) Health() ShardHealth {
 	h := ShardHealth{
 		Retries:       s.retries.Load(),
 		Quarantined:   s.quarantined.Load(),
 		DegradedSeeds: s.degraded.Load(),
+		StaleReplies:  s.staleReplies.Load(),
 	}
 	for _, w := range s.slots {
 		h.Workers = append(h.Workers, WorkerHealth{
@@ -467,13 +555,14 @@ func (s *Shard) Health() ShardHealth {
 			Exits:      w.exits.Load(),
 			Timeouts:   w.timeouts.Load(),
 			DecodeErrs: w.decodes.Load(),
+			Stales:     w.stales.Load(),
 		})
 	}
 	return h
 }
 
-// Close shuts down the worker pool and waits for the subprocesses to
-// exit. It must not be called concurrently with Run.
+// Close shuts down the worker pool and waits for the transports to close.
+// It must not be called concurrently with Run.
 func (s *Shard) Close() error {
 	s.once.Do(func() {}) // a never-started Shard has nothing to reap
 	if s.jobs != nil {

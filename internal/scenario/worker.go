@@ -20,19 +20,28 @@ import (
 
 // workerRequest asks the worker to run one seed of one experiment,
 // resolved by name against the registry (plus any extra specs the serving
-// command supplied).
+// command supplied). Epoch is the coordinator's lease epoch for this
+// attempt: workers echo it verbatim, and the coordinator discards any
+// response whose (epoch, spec, seed) does not match the request in flight
+// — so a zombie or partitioned worker replaying a stale chunk after its
+// lease was reassigned can never double-emit a seed.
 type workerRequest struct {
-	Spec string `json:"spec"`
-	Seed int64  `json:"seed"`
+	Spec  string `json:"spec"`
+	Seed  int64  `json:"seed"`
+	Epoch int64  `json:"epoch,omitempty"`
 }
 
 // workerResponse carries the codec-encoded Result, or the error that
-// prevented one.
+// prevented one. Heartbeat frames (TCP transport only) carry neither:
+// they exist so the coordinator's per-frame read deadline distinguishes
+// "computing a long seed" from "partitioned".
 type workerResponse struct {
-	Spec   string `json:"spec"`
-	Seed   int64  `json:"seed"`
-	Result []byte `json:"result,omitempty"` // EncodeResult bytes
-	Err    string `json:"err,omitempty"`
+	Spec      string `json:"spec,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Epoch     int64  `json:"epoch,omitempty"`
+	Result    []byte `json:"result,omitempty"` // EncodeResult bytes
+	Err       string `json:"err,omitempty"`
+	Heartbeat bool   `json:"hb,omitempty"` // liveness-only frame; no payload
 }
 
 // ServeWorker runs the shard worker loop: read a request frame, resolve
@@ -57,10 +66,7 @@ func ServeWorker(r io.Reader, w io.Writer, extra ...Spec) error {
 }
 
 func serveWorker(r io.Reader, w io.Writer, chaos Chaos, extra ...Spec) error {
-	byName := make(map[string]Spec, len(extra))
-	for _, s := range extra {
-		byName[s.Name] = s
-	}
+	byName := specIndex(extra)
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
 	for n := 1; ; n++ {
@@ -84,23 +90,7 @@ func serveWorker(r io.Reader, w io.Writer, chaos Chaos, extra ...Spec) error {
 			fmt.Fprintf(os.Stderr, "chaos: hanging on request %d\n", n)
 			time.Sleep(chaos.HangFor)
 		}
-		resp := workerResponse{Spec: req.Spec, Seed: req.Seed}
-		spec, ok := byName[req.Spec]
-		if !ok {
-			spec, ok = Lookup(req.Spec)
-		}
-		switch {
-		case !ok:
-			resp.Err = fmt.Sprintf("unknown experiment %q", req.Spec)
-		default:
-			res, err := executeSafe(spec, req.Seed)
-			if err == nil {
-				resp.Result, err = EncodeResult(res)
-			}
-			if err != nil {
-				resp.Err = err.Error()
-			}
-		}
+		resp := handleRequest(req, byName)
 		// Response-stream faults: the parent's decoder, not its process
 		// watcher, must catch these.
 		if chaos.TruncateAfter > 0 && n == chaos.TruncateAfter {
@@ -150,6 +140,39 @@ func writeCorruptFrame(w io.Writer) error {
 	}
 	_, err := w.Write(payload)
 	return err
+}
+
+// handleRequest resolves and executes one request, echoing its (spec,
+// seed, epoch) identity so the requester can match — and stale-check —
+// the response. Shared by the stdio worker loop and TCP sessions.
+func handleRequest(req workerRequest, byName map[string]Spec) workerResponse {
+	resp := workerResponse{Spec: req.Spec, Seed: req.Seed, Epoch: req.Epoch}
+	spec, ok := byName[req.Spec]
+	if !ok {
+		spec, ok = Lookup(req.Spec)
+	}
+	if !ok {
+		resp.Err = fmt.Sprintf("unknown experiment %q", req.Spec)
+		return resp
+	}
+	res, err := executeSafe(spec, req.Seed)
+	if err == nil {
+		resp.Result, err = EncodeResult(res)
+	}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	return resp
+}
+
+// specIndex builds the extra-spec precedence map worker loops resolve
+// requests against.
+func specIndex(extra []Spec) map[string]Spec {
+	byName := make(map[string]Spec, len(extra))
+	for _, s := range extra {
+		byName[s.Name] = s
+	}
+	return byName
 }
 
 // executeSafe converts a panicking experiment into a protocol error, so
