@@ -119,18 +119,24 @@ func toResult(name string, r testing.BenchmarkResult) benchResult {
 	}
 }
 
-// runBenchJSON executes the named suite ("sim-kernel" or "macro"), merges
+// runBenchJSON executes the named suite ("sim-kernel", "macro" or
+// "fabric"), merges
 // the results into the trajectory file at path under the given label
 // (replacing any existing entry with the same label), and prints a summary
 // table to w. For the kernel suite a non-empty gateLabel enforces the
 // bench gate against that baseline entry before the file is rewritten.
 func runBenchJSON(w io.Writer, path, suite, label, gateLabel string, seed int64) error {
 	var results []benchResult
+	var err error
 	switch suite {
 	case "sim-kernel":
 		results = collectKernel()
 	case "macro":
 		results = collectMacro(seed)
+	case "fabric":
+		if results, err = collectFabric(); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown benchmark suite %q", suite)
 	}
@@ -141,9 +147,12 @@ func runBenchJSON(w io.Writer, path, suite, label, gateLabel string, seed int64)
 	}
 	var gateErr error
 	if gateLabel != "" {
-		if suite == "sim-kernel" {
+		switch suite {
+		case "sim-kernel":
 			gateErr = gate(w, results, doc, gateLabel)
-		} else {
+		case "fabric":
+			gateErr = fabricGate(w, results, doc, gateLabel)
+		default:
 			gateErr = macroGate(w, results, doc, gateLabel)
 		}
 	}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// The fabric benchmark suite (-fabricjson): how fast do (spec, seed) runs
+// move through the distributed sweep fabric when the seed itself is nearly
+// free? Real experiments are simulation-bound; this suite makes the wire
+// protocol the bottleneck on purpose, so the recorded seeds/sec tracks
+// codec and framing work — the part PR 9 optimizes — rather than kernel
+// speed. Two transports are timed over loopback (worker subprocesses and
+// TCP -addrs-style connections) plus the raw Result codec microbenchmarks,
+// and the numbers land in BENCH_fabric.json next to the kernel and macro
+// trajectories.
+
+const (
+	fabricSeeds   = 4096 // seeds per throughput round
+	fabricWorkers = 4    // worker slots per transport leg
+	fabricChunk   = 16   // seeds per lease (ChunkSeeds)
+)
+
+// fabricSpec is the near-zero-cost experiment the throughput legs sweep:
+// a handful of seed-derived metrics and a small rendered table, shaped
+// like a real Result but costing microseconds. It is passed to ServeMode
+// as an extra spec so re-exec'd and -serve workers resolve it by name.
+func fabricSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:   "fabric-echo",
+		Desc:   "near-zero-cost spec for fabric throughput benchmarks",
+		Params: "fabric-bench-v1",
+		Run: func(seed int64) scenario.Result {
+			v := float64(seed)
+			return scenario.Result{
+				Name:  "fabric-echo",
+				Table: fmt.Sprintf("fabric-echo seed %d\n  v %g\n", seed, v),
+				Values: map[string]float64{
+					"seed": v,
+					"inv":  1 / (v + 1),
+					"sq":   v * v,
+					"neg":  -v,
+				},
+			}
+		},
+	}
+}
+
+// collectFabric runs the codec microbenchmarks and both loopback
+// throughput legs.
+func collectFabric() ([]benchResult, error) {
+	var results []benchResult
+	for _, k := range scenario.CodecBenchmarks() {
+		k := k
+		results = append(results, best(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			k.Run(b.N)
+		}))
+	}
+
+	subproc, err := fabricThroughput("FabricSubproc", func() (*scenario.Shard, func(), error) {
+		return &scenario.Shard{
+			Workers: fabricWorkers,
+			Policy:  scenario.FaultPolicy{ChunkSeeds: fabricChunk},
+		}, func() {}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fabric subprocess leg: %w", err)
+	}
+	results = append(results, subproc)
+
+	tcp, err := fabricThroughput("FabricTCP", func() (*scenario.Shard, func(), error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		go scenario.ServeNet(ln, scenario.NetServeOptions{
+			Extra: []scenario.Spec{fabricSpec()},
+			Log:   io.Discard,
+		})
+		sh := &scenario.Shard{
+			Workers: fabricWorkers,
+			Addrs:   []string{ln.Addr().String()},
+			Policy:  scenario.FaultPolicy{ChunkSeeds: fabricChunk},
+		}
+		return sh, func() { ln.Close() }, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fabric tcp leg: %w", err)
+	}
+	results = append(results, tcp)
+	return results, nil
+}
+
+// fabricThroughput sweeps fabricSeeds seeds of the echo spec through one
+// shard transport, best wall clock of benchRounds rounds after a warm-up
+// round (the warm-up absorbs spawn/dial and first-use costs, so the
+// recorded number is steady-state protocol throughput). ns/op is ns per
+// seed; seeds/sec is its reciprocal.
+func fabricThroughput(name string, newShard func() (*scenario.Shard, func(), error)) (benchResult, error) {
+	sh, cleanup, err := newShard()
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer cleanup()
+	defer sh.Close()
+	spec := fabricSpec()
+	seeds := scenario.Seeds(1, fabricSeeds)
+	round := func() (time.Duration, error) {
+		emitted := 0
+		start := time.Now()
+		if err := sh.Run(spec, seeds, func(ki int, res scenario.Result) { emitted++ }); err != nil {
+			return 0, err
+		}
+		if emitted != len(seeds) {
+			return 0, fmt.Errorf("emitted %d of %d seeds", emitted, len(seeds))
+		}
+		return time.Since(start), nil
+	}
+	if _, err := round(); err != nil {
+		return benchResult{}, err
+	}
+	var bestD time.Duration
+	for i := 0; i < benchRounds; i++ {
+		d, err := round()
+		if err != nil {
+			return benchResult{}, err
+		}
+		if i == 0 || d < bestD {
+			bestD = d
+		}
+	}
+	if h := sh.Health(); h.Failures() > 0 {
+		return benchResult{}, fmt.Errorf("unhealthy run: %s", h)
+	}
+	return benchResult{
+		Name:    name,
+		NsPerOp: float64(bestD.Nanoseconds()) / float64(fabricSeeds),
+		N:       fabricSeeds,
+	}, nil
+}
+
+// fabricGate enforces the fabric perf contract: the codec benchmarks must
+// report zero allocations per op (the binary codec's scratch-reuse
+// contract), and — like the kernel gate — ns/op regressions beyond 20%
+// against the baseline entry warn without failing (throughput legs are
+// wall-clock and machine-sensitive).
+func fabricGate(w io.Writer, results []benchResult, doc benchFile, baseLabel string) error {
+	var base *benchEntry
+	for i := range doc.Entries {
+		if doc.Entries[i].Label == baseLabel {
+			base = &doc.Entries[i]
+			break
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("fabric gate: baseline label %q not found in trajectory file", baseLabel)
+	}
+	baseline := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	var failed []string
+	for _, r := range results {
+		if len(r.Name) >= 5 && r.Name[:5] == "Codec" && r.AllocsPerOp > 0 {
+			failed = append(failed, fmt.Sprintf("%s allocates %d/op (codec must be alloc-free)", r.Name, r.AllocsPerOp))
+		}
+		if b, ok := baseline[r.Name]; ok && b.NsPerOp > 0 && r.NsPerOp > 1.20*b.NsPerOp {
+			fmt.Fprintf(w, "FABRIC GATE WARN: %s %.1f ns/op vs %.1f baseline (%s): %+.0f%%\n",
+				r.Name, r.NsPerOp, b.NsPerOp, baseLabel, 100*(r.NsPerOp/b.NsPerOp-1))
+		}
+		if b, ok := baseline[r.Name]; ok && b.NsPerOp > 0 && (r.Name == "FabricSubproc" || r.Name == "FabricTCP") {
+			fmt.Fprintf(w, "fabric gate: %s %.0f seeds/s vs %.0f baseline (%s): ×%.2f\n",
+				r.Name, 1e9/r.NsPerOp, 1e9/b.NsPerOp, baseLabel, b.NsPerOp/r.NsPerOp)
+		}
+	}
+	if len(failed) > 0 {
+		for _, f := range failed {
+			fmt.Fprintf(w, "FABRIC GATE FAIL: %s\n", f)
+		}
+		return fmt.Errorf("fabric gate: %d benchmark(s) violate the zero-alloc codec contract", len(failed))
+	}
+	fmt.Fprintf(w, "FABRIC GATE OK: codec alloc-free, compared against %q\n", baseLabel)
+	return nil
+}

@@ -73,6 +73,7 @@ type options struct {
 	list       bool
 	benchJSON  string
 	macroJSON  string
+	fabricJSON string
 	benchLabel string
 	benchGate  string
 	names      []string
@@ -87,6 +88,7 @@ func main() {
 	flag.BoolVar(&o.list, "list", false, "list experiments and exit")
 	flag.StringVar(&o.benchJSON, "benchjson", "", "run the sim kernel benchmarks and upsert results into this JSON file")
 	flag.StringVar(&o.macroJSON, "macrojson", "", "time every registered experiment end-to-end and upsert results into this JSON file")
+	flag.StringVar(&o.fabricJSON, "fabricjson", "", "run the sweep-fabric throughput + codec benchmarks and upsert results into this JSON file")
 	flag.StringVar(&o.benchLabel, "benchlabel", "dev", "label for the -benchjson/-macrojson trajectory entry")
 	flag.StringVar(&o.benchGate, "benchgate", "", "with -benchjson/-macrojson: enforce the bench gates against this baseline label")
 	flag.Parse()
@@ -100,22 +102,24 @@ func main() {
 
 // run executes figgen against the global registry, writing all output to w.
 func run(w io.Writer, o options) error {
-	if served, err := o.rf.ServeMode(); served {
+	if served, err := o.rf.ServeMode(fabricSpec()); served {
 		// Server modes — shard worker over stdin/stdout (-worker), TCP shard
 		// worker (-serve), shared result store (-serve-store) — do nothing
 		// else. Checked before any other mode so a re-exec'd command line can
-		// carry whatever flags the parent had.
+		// carry whatever flags the parent had. The fabric benchmark's echo
+		// spec rides along as an extra, so -fabricjson's re-exec'd workers
+		// resolve it by name.
 		return err
 	}
 	if o.list {
 		list(w)
 		return nil
 	}
-	if o.benchJSON != "" || o.macroJSON != "" {
+	if o.benchJSON != "" || o.macroJSON != "" || o.fabricJSON != "" {
 		// Benchmark mode runs no experiment selection; a selection alongside
 		// it is a confused command line, not something to silently ignore.
 		if o.pattern != "" || o.tags != "" || len(o.names) > 0 {
-			return fmt.Errorf("-benchjson/-macrojson run benchmark suites only; drop the experiment selection (-run/-tags/names)")
+			return fmt.Errorf("-benchjson/-macrojson/-fabricjson run benchmark suites only; drop the experiment selection (-run/-tags/names)")
 		}
 		stop, err := o.rf.StartProfiles()
 		if err != nil {
@@ -133,10 +137,16 @@ func run(w io.Writer, o options) error {
 				return err
 			}
 		}
+		if o.fabricJSON != "" {
+			if err := runBenchJSON(w, o.fabricJSON, "fabric", o.benchLabel, o.benchGate, o.rf.Seed); err != nil {
+				stop()
+				return err
+			}
+		}
 		return stop()
 	}
 	if o.benchGate != "" {
-		return fmt.Errorf("-benchgate requires -benchjson or -macrojson")
+		return fmt.Errorf("-benchgate requires -benchjson, -macrojson or -fabricjson")
 	}
 	specs, err := selectSpecs(o)
 	if err != nil {

@@ -42,6 +42,8 @@ type RunFlags struct {
 	ChunkTimeout   time.Duration
 	RestartBackoff time.Duration
 	DegradeLocal   bool
+	ChunkSeeds     int
+	Window         int
 	DialTimeout    time.Duration
 	FrameTimeout   time.Duration
 	Chaos          string
@@ -86,6 +88,8 @@ func (f *RunFlags) Register(fs *flag.FlagSet) {
 	fs.DurationVar(&f.ChunkTimeout, "chunk-timeout", def.ChunkTimeout, "shard: deadline per leased seed chunk (0 disables)")
 	fs.DurationVar(&f.RestartBackoff, "restart-backoff", def.RestartBackoff, "shard: base worker restart backoff (exponential, jittered)")
 	fs.BoolVar(&f.DegradeLocal, "degrade-local", def.DegradeToLocal, "shard: run exhausted chunks in-process instead of failing the run")
+	fs.IntVar(&f.ChunkSeeds, "chunk-seeds", def.ChunkSeeds, "shard: seeds per lease (one request frame covers the whole chunk)")
+	fs.IntVar(&f.Window, "window", def.Window, "shard: leases pipelined per worker connection (1 disables pipelining)")
 	fs.DurationVar(&f.DialTimeout, "dial-timeout", def.DialTimeout, "shard: TCP worker dial timeout for -addrs (0 disables)")
 	fs.DurationVar(&f.FrameTimeout, "frame-timeout", def.FrameTimeout, "shard: per-frame read deadline on TCP worker connections (0 disables)")
 	fs.StringVar(&f.Chaos, "chaos", "", "shard/serve: fault-injection schedule for workers, e.g. \"crash-after=2,gens=2\" (see EXPERIMENTS.md)")
@@ -151,6 +155,8 @@ func (f *RunFlags) faultPolicy() scenario.FaultPolicy {
 		ChunkTimeout:   f.ChunkTimeout,
 		RestartBackoff: f.RestartBackoff,
 		DegradeToLocal: f.DegradeLocal,
+		ChunkSeeds:     f.ChunkSeeds,
+		Window:         f.Window,
 		DialTimeout:    f.DialTimeout,
 		FrameTimeout:   f.FrameTimeout,
 	}
@@ -168,6 +174,9 @@ func (f *RunFlags) faultPolicy() scenario.FaultPolicy {
 	}
 	if p.FrameTimeout == 0 {
 		p.FrameTimeout = -1
+	}
+	if p.Window == 0 {
+		p.Window = -1 // "-window 0" means no pipelining, like "-window 1"
 	}
 	return p
 }

@@ -39,6 +39,9 @@ func TestRegisterDefaults(t *testing.T) {
 		f.RestartBackoff != def.RestartBackoff || f.DegradeLocal != def.DegradeToLocal || f.Chaos != "" {
 		t.Fatalf("fault-policy defaults wrong: %+v", f)
 	}
+	if f.ChunkSeeds != def.ChunkSeeds || f.Window != def.Window {
+		t.Fatalf("batching defaults wrong: %+v (want ChunkSeeds %d, Window %d)", f, def.ChunkSeeds, def.Window)
+	}
 	seeds := f.Seeds()
 	if len(seeds) != 3 || seeds[0] != 7 || seeds[2] != 9 {
 		t.Fatalf("Seeds() = %v, want [7 8 9]", seeds)
@@ -74,12 +77,17 @@ func TestFaultPolicyFlagsAreLiteral(t *testing.T) {
 	if p.DialTimeout >= 0 || p.FrameTimeout >= 0 {
 		t.Errorf("zero timeout flags should map to the disabled encoding: %+v", p)
 	}
+	if p.Window >= 0 {
+		t.Errorf("\"-window 0\" should map to the disabled (no pipelining) encoding: %+v", p)
+	}
 	f = RunFlags{
 		MaxRetries: 5, ChunkTimeout: time.Minute, RestartBackoff: time.Second, DegradeLocal: true,
+		ChunkSeeds: 16, Window: 8,
 		DialTimeout: 2 * time.Second, FrameTimeout: 3 * time.Second,
 	}
 	p = f.faultPolicy()
 	if p.MaxRetries != 5 || p.ChunkTimeout != time.Minute || p.RestartBackoff != time.Second || !p.DegradeToLocal ||
+		p.ChunkSeeds != 16 || p.Window != 8 ||
 		p.DialTimeout != 2*time.Second || p.FrameTimeout != 3*time.Second {
 		t.Errorf("non-zero flags should pass through: %+v", p)
 	}

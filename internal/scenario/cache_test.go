@@ -1,10 +1,13 @@
 package scenario
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -182,6 +185,88 @@ func TestCacheRoundTripsHostileFloats(t *testing.T) {
 	for k := range av {
 		if math.Float64bits(av[k]) != math.Float64bits(bv[k]) {
 			t.Errorf("%s: %#x vs %#x", k, math.Float64bits(av[k]), math.Float64bits(bv[k]))
+		}
+	}
+}
+
+// legacyJSONEntry renders a Result in the pre-binary cache entry format
+// (a wireResult JSON document with hex Float64bits), byte-compatible with
+// what older builds wrote to disk.
+func legacyJSONEntry(t *testing.T, res Result) []byte {
+	t.Helper()
+	wr := wireResult{Name: res.Name, Table: res.Table}
+	names := make([]string, 0, len(res.Values))
+	for k := range res.Values {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		v := res.Values[k]
+		wr.Values = append(wr.Values, wireValue{
+			Name:  k,
+			Bits:  fmt.Sprintf("%016x", math.Float64bits(v)),
+			Human: fmt.Sprintf("%g", v),
+		})
+	}
+	data, err := json.Marshal(wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCacheLegacyJSONEntriesWarmHit: a cache directory populated by an
+// older build (JSON entries) must warm-hit under the binary codec —
+// DecodeResult sniffs per entry, so switching codecs never invalidates a
+// cache or forces recomputation.
+func TestCacheLegacyJSONEntriesWarmHit(t *testing.T) {
+	dir := t.TempDir()
+	spec := cacheSpec()
+	seeds := []int64{1, 2, 3}
+	hostile := Result{
+		Name:  "test-cache",
+		Table: "cache table",
+		Values: map[string]float64{
+			"nan":     math.NaN(),
+			"negzero": math.Copysign(0, -1),
+			"seed":    7,
+		},
+	}
+
+	store := diskStore{root: dir}
+	for _, seed := range seeds {
+		res := spec.Run(seed)
+		if seed == 3 {
+			res = hostile // one entry carrying the specials the hex form encodes
+		}
+		path := store.path(entryRel(spec, seed))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, legacyJSONEntry(t, res), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm := &Cache{Inner: FailExecutor("legacy entry missed"), Dir: dir}
+	aggs := mustRun(t, &Runner{KeepPerSeed: true, Executor: warm}, []Spec{spec}, seeds)
+	if s := warm.Stats(); s.Hits != int64(len(seeds)) || s.Misses != 0 {
+		t.Fatalf("legacy warm stats %+v, want %d hits / 0 misses", s, len(seeds))
+	}
+	for i, seed := range seeds {
+		want := spec.Run(seed)
+		if seed == 3 {
+			want = hostile
+		}
+		got := aggs[0].PerSeed[i]
+		if got.Name != want.Name || got.Table != want.Table || len(got.Values) != len(want.Values) {
+			t.Fatalf("seed %d: legacy entry decoded as %+v, want %+v", seed, got, want)
+		}
+		for k, v := range want.Values {
+			if math.Float64bits(got.Values[k]) != math.Float64bits(v) {
+				t.Errorf("seed %d %s: %#x, want %#x", seed, k,
+					math.Float64bits(got.Values[k]), math.Float64bits(v))
+			}
 		}
 	}
 }

@@ -10,7 +10,7 @@ import (
 
 // Chaos is the fault-injection configuration for a shard worker: the
 // testable half of the fault-tolerant fabric. A worker with an active
-// Chaos misbehaves on schedule — crashes after N frames, hangs mid-chunk,
+// Chaos misbehaves on schedule — crashes after N seeds, hangs mid-chunk,
 // emits a truncated or corrupt frame, or delays responses — so the
 // supervisor's three failure detectors and the retry/degrade machinery
 // can be exercised deterministically, in tests and from the CLI (-chaos).
@@ -22,8 +22,10 @@ import (
 // crashes, its replacement runs clean", which is exactly the shape the
 // chaos-injected equivalence test uses.
 //
-// All frame counts are 1-based indices into the stream of requests one
-// worker process serves; zero disables that fault. For a TCP worker
+// All counts are 1-based indices into the stream of seeds one worker
+// process executes — per seed, not per frame, so a schedule keeps its
+// meaning whatever ChunkSeeds batches requests into; zero disables that
+// fault. For a TCP worker
 // (ServeNet) a "generation" is the accept-order index of the connection on
 // the listener — a dropped or blackholed connection's replacement is the
 // next generation, exactly like a crashed subprocess's restart.
@@ -33,20 +35,20 @@ import (
 // replay-after) apply to TCP sessions and are ignored by stdio workers,
 // whose transport cannot express them.
 type Chaos struct {
-	CrashAfter    int           // exit(3) when asked for request N, before responding
-	HangAfter     int           // sleep HangFor before responding to request N
+	CrashAfter    int           // exit(3) when asked for seed N, before responding
+	HangAfter     int           // sleep HangFor before responding to seed N
 	HangFor       time.Duration // hang duration; defaults to an hour (the chunk deadline reaps the worker first)
-	CorruptAfter  int           // respond to request N with a well-framed garbage payload
-	TruncateAfter int           // respond to request N with a truncated frame, then exit(3)
+	CorruptAfter  int           // respond to seed N with a well-framed garbage payload
+	TruncateAfter int           // respond to seed N with a truncated frame, then exit(3)
 	DelayEvery    int           // sleep Delay before every Nth response
 	Delay         time.Duration // benign delay; defaults to 10ms
 	Gens          int           // apply faults only to worker generations < Gens; 0 means every generation
 
 	// Network verbs, for TCP worker sessions (ServeNet).
-	DropConnAfter  int           // close the connection on request N without responding
-	BlackholeAfter int           // from request N on: keep the connection, stop responding and heartbeating
+	DropConnAfter  int           // close the connection on seed N without responding
+	BlackholeAfter int           // from seed N on: keep the connection, stop responding and heartbeating (rest of the chunk vanishes too)
 	SlowLink       time.Duration // delay every response by this much while heartbeats keep flowing (benign)
-	ReplayAfter    int           // before responding to request N, replay the previous response frame (stale epoch)
+	ReplayAfter    int           // before responding to seed N, replay the previous response frame (stale epoch)
 }
 
 // active reports whether any fault is configured.

@@ -9,15 +9,17 @@ import (
 	"testing"
 )
 
-// FuzzDecodeFrame fuzzes the two codec layers every transport shares —
-// the length-prefixed frame reader and the Result codec — with the
-// totality contract the supervisor depends on: any mutation of the byte
-// stream yields ErrDecode (corruption) or io.EOF/io.ErrUnexpectedEOF
-// (truncation), a zero Result, and never a panic or a partially decoded
-// value surfacing as data.
+// FuzzDecodeFrame fuzzes the codec layers every transport shares — the
+// length-prefixed frame reader, the frame-payload parsers for both
+// directions, and the binary Result codec — with the totality contract
+// the supervisor depends on: any mutation of the byte stream yields
+// ErrDecode (corruption, including a version-byte mismatch) or
+// io.EOF/io.ErrUnexpectedEOF (truncation), a zero Result, and never a
+// panic or a partially decoded value surfacing as data.
 func FuzzDecodeFrame(f *testing.F) {
 	// Seed corpus: the codec_test.go shapes — hostile floats, empty values,
-	// framed streams, truncations, garbage, an oversized header.
+	// framed streams, version skew, truncations, garbage, an oversized
+	// header — plus a legacy JSON document for the back-compat path.
 	hostile := Result{
 		Name:  "hostile",
 		Table: "t",
@@ -36,24 +38,29 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(enc)
 	empty, _ := EncodeResult(Result{Name: "empty"})
 	f.Add(empty)
+	skew := append([]byte(nil), enc...)
+	skew[1] = resultVersion + 1
+	f.Add(skew)
+	f.Add([]byte(`{"name":"legacy","table":"t","values":[{"name":"v","bits":"3ff0000000000000","human":"1"}]}`))
 
-	frame := func(v any) []byte {
-		var buf bytes.Buffer
-		if err := writeFrame(&buf, v); err != nil {
-			f.Fatal(err)
-		}
-		return buf.Bytes()
-	}
-	resp := frame(workerResponse{Spec: "s", Seed: 7, Epoch: 3, Result: enc})
+	var fs frameScratch
+	resp := append([]byte(nil), fs.resultFrame([]byte("s"), 7, 3, hostile)...)
 	f.Add(resp)
-	f.Add(bytes.Join([][]byte{resp, frame(workerResponse{Heartbeat: true})}, nil))
+	stream := append(append([]byte(nil), fs.helloFrame()...), resp...)
+	stream = append(stream, fs.heartbeatFrame()...)
+	stream = append(stream, fs.errorFrame([]byte("s"), 8, 3, "boom")...)
+	f.Add(stream)
+	badHello := append([]byte(nil), fs.helloFrame()...)
+	badHello[len(badHello)-1] = protoVersion + 1 // version-byte mismatch
+	f.Add(badHello)
+	f.Add(append([]byte(nil), fs.requestFrame("spec", []int64{1, -7, 1 << 40}, 5)...))
 	f.Add(resp[:len(resp)-3])                        // truncated mid-payload
 	f.Add(resp[:2])                                  // truncated mid-header
-	f.Add([]byte("chaos! not json {{{"))             // garbage
+	f.Add([]byte("chaos! not a frame {{{"))          // garbage
 	f.Add(append([]byte{0xff, 0xff, 0xff, 0xff}, 1)) // oversized header
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		// Result codec: total, loud, and all-or-nothing.
+		// Result codec (binary + legacy JSON): total, loud, all-or-nothing.
 		if res, err := DecodeResult(data); err != nil {
 			if !errors.Is(err, ErrDecode) {
 				t.Errorf("DecodeResult error %v does not wrap ErrDecode", err)
@@ -63,15 +70,28 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 		}
 
-		// Frame stream: drain frames until the stream ends; every failure
-		// must be a known truncation/corruption class, and any embedded
-		// Result payload must itself decode totally.
+		// Frame stream, response direction: drain frames until the stream
+		// ends; every failure must be a known truncation/corruption class,
+		// and any embedded Result payload must itself decode totally.
 		r := bytes.NewReader(data)
+		var buf []byte
+		dec := newResultDecoder()
 		for {
-			var resp workerResponse
-			err := readFrame(r, &resp)
-			if err == nil {
-				if res, derr := DecodeResult(resp.Result); derr != nil {
+			payload, err := readRawFrame(r, &buf)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrDecode) {
+					t.Errorf("readRawFrame error %v is neither EOF-family nor ErrDecode", err)
+				}
+				break
+			}
+			m, err := parseWireMsg(payload)
+			if err != nil {
+				if !errors.Is(err, ErrDecode) {
+					t.Errorf("parseWireMsg error %v does not wrap ErrDecode", err)
+				}
+			} else if m.ftype == frameResult {
+				var res Result
+				if derr := dec.decode(m.result, &res, false); derr != nil {
 					if !errors.Is(derr, ErrDecode) {
 						t.Errorf("embedded Result error %v does not wrap ErrDecode", derr)
 					}
@@ -79,12 +99,55 @@ func FuzzDecodeFrame(f *testing.F) {
 						t.Errorf("embedded Result leaked values on error")
 					}
 				}
-				continue
 			}
-			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrDecode) {
-				t.Errorf("readFrame error %v is neither EOF-family nor ErrDecode", err)
+			// Request direction: the worker-side parser must be just as total.
+			if _, err := parseWireRequest(payload, nil); err != nil && !errors.Is(err, ErrDecode) {
+				t.Errorf("parseWireRequest error %v does not wrap ErrDecode", err)
 			}
-			break
+		}
+	})
+}
+
+// FuzzResultRoundTrip is the codec round-trip property test: any Result —
+// any names, any table, any float bit patterns, specials included —
+// encodes to bytes that decode back bit-identically, through both the
+// owned and the scratch-reuse decode paths.
+func FuzzResultRoundTrip(f *testing.F) {
+	f.Add("r", "table\n", "a", math.Float64bits(math.NaN()), "b", math.Float64bits(math.Inf(-1)))
+	f.Add("", "", "negzero", uint64(0x8000000000000000), "posinf", math.Float64bits(math.Inf(1)))
+	f.Add("µ", "┌─┐", "tiny", math.Float64bits(5e-324), "", uint64(0))
+	f.Fuzz(func(t *testing.T, name, table, k1 string, bits1 uint64, k2 string, bits2 uint64) {
+		in := Result{Name: name, Table: table, Values: map[string]float64{
+			k1: math.Float64frombits(bits1),
+			k2: math.Float64frombits(bits2),
+		}}
+		enc, err := EncodeResult(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(out Result, path string) {
+			t.Helper()
+			if out.Name != in.Name || out.Table != in.Table || len(out.Values) != len(in.Values) {
+				t.Fatalf("%s: round trip changed shape: %+v vs %+v", path, out, in)
+			}
+			for k, want := range in.Values {
+				if math.Float64bits(out.Values[k]) != math.Float64bits(want) {
+					t.Errorf("%s: %q bits %#x, want %#x", path, k, math.Float64bits(out.Values[k]), math.Float64bits(want))
+				}
+			}
+		}
+		out, err := DecodeResult(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(out, "owned")
+		d := newResultDecoder()
+		var reused Result
+		for i := 0; i < 2; i++ { // twice: the second pass hits the warm intern/reuse path
+			if err := d.decode(enc, &reused, true); err != nil {
+				t.Fatal(err)
+			}
+			check(reused, "reuse")
 		}
 	})
 }
@@ -94,8 +157,8 @@ func FuzzDecodeFrame(f *testing.F) {
 func TestFuzzSeedHeaderGuard(t *testing.T) {
 	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[:4], 0xffffffff)
-	var v workerResponse
-	if err := readFrame(bytes.NewReader(hdr[:]), &v); !errors.Is(err, ErrDecode) {
+	var buf []byte
+	if _, err := readRawFrame(bytes.NewReader(hdr[:]), &buf); !errors.Is(err, ErrDecode) {
 		t.Errorf("oversized header error = %v, want ErrDecode", err)
 	}
 }

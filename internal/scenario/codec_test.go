@@ -1,11 +1,14 @@
 package scenario
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"errors"
 	"io"
 	"math"
+	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -31,6 +34,9 @@ func TestCodecRoundTripBitExact(t *testing.T) {
 	data, err := EncodeResult(in)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if data[0] != resultMagic || data[1] != resultVersion {
+		t.Fatalf("encoding header = %#x %#x, want magic %#x version %d", data[0], data[1], resultMagic, resultVersion)
 	}
 	out, err := DecodeResult(data)
 	if err != nil {
@@ -73,8 +79,34 @@ func TestCodecDeterministicBytes(t *testing.T) {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(first, again) {
-			t.Fatalf("encoding not deterministic:\n%s\n%s", first, again)
+			t.Fatalf("encoding not deterministic:\n%x\n%x", first, again)
 		}
+	}
+}
+
+// TestDecodeLegacyJSON pins cache back-compat at the codec level:
+// DecodeResult still reads the hex-bits JSON documents every build
+// through PR 8 wrote, bit-exactly.
+func TestDecodeLegacyJSON(t *testing.T) {
+	legacy := `{"name":"legacy","table":"t\n","values":[` +
+		`{"name":"nan","bits":"7ff8000000000001","human":"NaN"},` +
+		`{"name":"negzero","bits":"8000000000000000","human":"-0"},` +
+		`{"name":"pi","bits":"400921fb54442d18","human":"3.141592653589793"}]}`
+	res, err := DecodeResult([]byte(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "legacy" || res.Table != "t\n" || len(res.Values) != 3 {
+		t.Fatalf("legacy decode = %+v", res)
+	}
+	if !math.IsNaN(res.Values["nan"]) {
+		t.Errorf("nan = %v", res.Values["nan"])
+	}
+	if math.Float64bits(res.Values["negzero"]) != 0x8000000000000000 {
+		t.Errorf("negzero bits = %#x", math.Float64bits(res.Values["negzero"]))
+	}
+	if res.Values["pi"] != math.Pi {
+		t.Errorf("pi = %v", res.Values["pi"])
 	}
 }
 
@@ -88,14 +120,15 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 }
 
 // TestDecodeErrorsAreLoudAndTotal pins the codec error contract the
-// supervisor's decode detector depends on: truncated frames, oversized
-// length prefixes and garbage-hex Float64bits all fail with an error the
-// caller can classify via errors.Is(err, ErrDecode) where the stream (not
-// the transport) is at fault — and the failed decode returns the zero
-// Result, never a partial one.
+// supervisor's decode detector depends on: truncated encodings, version
+// skew, trailing garbage, oversized length prefixes and malformed legacy
+// JSON all fail with an error the caller can classify via
+// errors.Is(err, ErrDecode) where the stream (not the transport) is at
+// fault — and the failed decode returns the zero Result, never a partial
+// one.
 func TestDecodeErrorsAreLoudAndTotal(t *testing.T) {
-	// Garbage-hex bits inside otherwise valid JSON: ErrDecode, zero Result
-	// even though the first value was decodable.
+	// Garbage-hex bits inside otherwise valid legacy JSON: ErrDecode, zero
+	// Result even though the first value was decodable.
 	res, err := DecodeResult([]byte(`{"name":"x","table":"t","values":[` +
 		`{"name":"good","bits":"3ff0000000000000"},{"name":"bad","bits":"zz"}]}`))
 	if !errors.Is(err, ErrDecode) {
@@ -105,42 +138,77 @@ func TestDecodeErrorsAreLoudAndTotal(t *testing.T) {
 		t.Errorf("partial Result leaked from failed decode: %+v", res)
 	}
 
-	// Non-JSON payload: ErrDecode.
+	// Non-JSON, non-binary payload: ErrDecode.
 	if res, err = DecodeResult([]byte("chaos! not json")); !errors.Is(err, ErrDecode) {
 		t.Errorf("non-JSON payload: err = %v, want ErrDecode", err)
 	} else if res.Name != "" || res.Table != "" || res.Values != nil {
 		t.Errorf("partial Result from non-JSON payload: %+v", res)
 	}
 
+	// Every proper prefix of a binary encoding is a truncation: ErrDecode,
+	// zero Result, no panic.
+	enc, err := EncodeResult(Result{Name: "n", Table: "t", Values: map[string]float64{
+		"a": 1, "nan": math.NaN(), "inf": math.Inf(1),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(enc); i++ {
+		res, err := DecodeResult(enc[:i])
+		if !errors.Is(err, ErrDecode) {
+			t.Fatalf("prefix %d/%d: err = %v, want ErrDecode", i, len(enc), err)
+		}
+		if res.Name != "" || res.Table != "" || res.Values != nil {
+			t.Fatalf("prefix %d/%d leaked a partial Result: %+v", i, len(enc), res)
+		}
+	}
+
+	// A future version byte: ErrDecode naming the version, not a misparse.
+	skew := append([]byte(nil), enc...)
+	skew[1] = resultVersion + 1
+	if _, err := DecodeResult(skew); !errors.Is(err, ErrDecode) || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version skew: err = %v, want ErrDecode naming the version", err)
+	}
+
+	// Trailing bytes after the last value: the encoding is length-framed by
+	// its frame, so slack means corruption.
+	if _, err := DecodeResult(append(append([]byte(nil), enc...), 0)); !errors.Is(err, ErrDecode) {
+		t.Errorf("trailing byte: err = %v, want ErrDecode", err)
+	}
+
 	// Oversized length prefix: ErrDecode from the frame reader (the stream
 	// is corrupt, not merely closed).
 	var huge [4]byte
 	binary.BigEndian.PutUint32(huge[:], maxFrame+1)
-	var v workerResponse
-	if err := readFrame(bytes.NewReader(huge[:]), &v); !errors.Is(err, ErrDecode) {
+	var buf []byte
+	if _, err := readRawFrame(bytes.NewReader(huge[:]), &buf); !errors.Is(err, ErrDecode) {
 		t.Errorf("oversized prefix: err = %v, want ErrDecode", err)
 	}
 
-	// Well-framed garbage payload (what the chaos corrupt mode emits):
-	// ErrDecode from the frame reader.
-	var buf bytes.Buffer
-	payload := []byte("chaos! not json {{{")
+	// Well-framed garbage payload (what the chaos corrupt mode emits): the
+	// frame reads fine, the message parse fails with ErrDecode.
+	var stream bytes.Buffer
+	payload := []byte("chaos! not a frame {{{")
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	buf.Write(hdr[:])
-	buf.Write(payload)
-	if err := readFrame(&buf, &v); !errors.Is(err, ErrDecode) {
+	stream.Write(hdr[:])
+	stream.Write(payload)
+	p, err := readRawFrame(&stream, &buf)
+	if err != nil {
+		t.Fatalf("well-framed garbage must read as a frame: %v", err)
+	}
+	if _, err := parseWireMsg(p); !errors.Is(err, ErrDecode) {
 		t.Errorf("garbage payload: err = %v, want ErrDecode", err)
 	}
 
 	// Truncation inside a frame is a transport fault, not stream corruption:
 	// unexpected EOF, and NOT ErrDecode (the supervisor classifies it as a
 	// process death).
-	buf.Reset()
+	stream.Reset()
 	binary.BigEndian.PutUint32(hdr[:], 1024)
-	buf.Write(hdr[:])
-	buf.WriteString("short")
-	err = readFrame(&buf, &v)
+	stream.Write(hdr[:])
+	stream.WriteString("short")
+	_, err = readRawFrame(&stream, &buf)
 	if !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Errorf("truncated frame: err = %v, want unexpected EOF", err)
 	}
@@ -149,41 +217,158 @@ func TestDecodeErrorsAreLoudAndTotal(t *testing.T) {
 	}
 }
 
-// TestFrameRoundTrip checks the length-prefixed framing, including clean
-// EOF at a boundary vs. truncation inside a frame.
+// TestFrameRoundTrip checks the binary framing layer: request frames,
+// per-seed response frames, hello/heartbeat, clean EOF at a boundary vs.
+// truncation inside a frame — plus the JSON framing the store protocol
+// still speaks.
 func TestFrameRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	reqs := []workerRequest{{Spec: "a", Seed: 1}, {Spec: "b", Seed: -7}}
-	for _, r := range reqs {
-		if err := writeFrame(&buf, r); err != nil {
+	var fs frameScratch
+	var stream bytes.Buffer
+	stream.Write(fs.helloFrame())
+	stream.Write(fs.heartbeatFrame())
+	res := Result{Name: "r", Table: "t", Values: map[string]float64{"nan": math.NaN(), "v": 2.5}}
+	stream.Write(fs.resultFrame([]byte("spec-a"), 7, 3, res))
+	stream.Write(fs.errorFrame([]byte("spec-b"), -7, 4, "boom"))
+
+	var buf []byte
+	read := func() wireMsg {
+		t.Helper()
+		p, err := readRawFrame(&stream, &buf)
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	stream := buf.Bytes()
-	r := bytes.NewReader(stream)
-	for i := range reqs {
-		var got workerRequest
-		if err := readFrame(r, &got); err != nil {
+		m, err := parseWireMsg(p)
+		if err != nil {
 			t.Fatal(err)
 		}
-		if got != reqs[i] {
-			t.Errorf("frame %d = %+v, want %+v", i, got, reqs[i])
-		}
+		return m
 	}
-	var end workerRequest
-	if err := readFrame(r, &end); err != io.EOF {
+	if m := read(); m.ftype != frameHello || m.version != protoVersion {
+		t.Fatalf("hello = %+v", m)
+	}
+	if m := read(); m.ftype != frameHeartbeat {
+		t.Fatalf("heartbeat = %+v", m)
+	}
+	m := read()
+	if m.ftype != frameResult || string(m.spec) != "spec-a" || m.seed != 7 || m.epoch != 3 {
+		t.Fatalf("result frame = %+v", m)
+	}
+	got, err := DecodeResult(m.result)
+	if err != nil || got.Name != "r" || !math.IsNaN(got.Values["nan"]) || got.Values["v"] != 2.5 {
+		t.Fatalf("embedded result = %+v / %v", got, err)
+	}
+	m = read()
+	if m.ftype != frameError || string(m.spec) != "spec-b" || m.seed != -7 || m.epoch != 4 || string(m.errMsg) != "boom" {
+		t.Fatalf("error frame = %+v", m)
+	}
+	if _, err := readRawFrame(&stream, &buf); err != io.EOF {
 		t.Errorf("end of stream: %v, want io.EOF", err)
 	}
-	short := bytes.NewReader(stream[:len(stream)-3]) // second frame loses its tail
-	var trunc workerRequest
-	if err := readFrame(short, &trunc); err != nil {
-		t.Fatalf("intact first frame: %v", err)
+
+	// Request frames: the chunk-granular coordinator→worker direction.
+	seeds := []int64{1, -7, 1 << 40}
+	full := append([]byte(nil), fs.requestFrame("spec-c", seeds, 9)...)
+	req, err := parseWireRequest(full[4:], nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := readFrame(short, &trunc); err == nil || err == io.EOF {
+	if string(req.spec) != "spec-c" || req.epoch != 9 || len(req.seeds) != 3 ||
+		req.seeds[0] != 1 || req.seeds[1] != -7 || req.seeds[2] != 1<<40 {
+		t.Fatalf("request = %+v", req)
+	}
+	for i := 1; i < len(full)-4; i++ {
+		if _, err := parseWireRequest(full[4:4+i], nil); !errors.Is(err, ErrDecode) {
+			t.Fatalf("truncated request %d: err = %v, want ErrDecode", i, err)
+		}
+	}
+
+	// A stream that loses its tail mid-frame: unexpected EOF, not io.EOF.
+	short := bytes.NewReader(full[:len(full)-2])
+	if _, err := readRawFrame(short, &buf); err == nil || err == io.EOF {
 		t.Errorf("truncated frame: %v, want unexpected-EOF error", err)
 	}
-	huge := []byte{0xff, 0xff, 0xff, 0xff}
-	if err := readFrame(bytes.NewReader(huge), &trunc); err == nil {
-		t.Error("oversized frame header accepted")
+
+	// The store protocol still frames JSON: round-trip one request.
+	var jbuf bytes.Buffer
+	want := storeRequest{Op: "get", Key: "a/b.json"}
+	if err := writeFrame(&jbuf, want); err != nil {
+		t.Fatal(err)
+	}
+	var gotReq storeRequest
+	if err := readFrame(&jbuf, &gotReq); err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.Op != want.Op || gotReq.Key != want.Key {
+		t.Errorf("JSON frame round trip = %+v, want %+v", gotReq, want)
+	}
+}
+
+// newTestConnCore wraps a canned byte stream as a coordinator-side
+// connection core, for driving recv against synthetic worker output.
+func newTestConnCore(stream []byte) *connCore {
+	return &connCore{
+		br:       bufio.NewReader(bytes.NewReader(stream)),
+		tag:      "test",
+		stales:   new(atomic.Int64),
+		sent:     new(atomic.Int64),
+		recvd:    new(atomic.Int64),
+		classify: func(error) failKind { return failExit },
+		dec:      newResultDecoder(),
+	}
+}
+
+// TestRecvHelloNegotiation pins the version handshake: a worker
+// announcing a different protocol version is a decode fault (the
+// supervisor kills and retries elsewhere, never misparses), as is any
+// response arriving before the hello.
+func TestRecvHelloNegotiation(t *testing.T) {
+	var fs frameScratch
+	res := Result{Name: "r", Values: map[string]float64{"v": 1}}
+
+	// Healthy session: hello, heartbeat noise, then the response.
+	var ok bytes.Buffer
+	ok.Write(fs.helloFrame())
+	ok.Write(fs.heartbeatFrame())
+	ok.Write(fs.resultFrame([]byte("s"), 1, 10, res))
+	c := newTestConnCore(ok.Bytes())
+	got, kind, err := c.recv("s", 1, 10)
+	if err != nil || kind != 0 || got.Values["v"] != 1 {
+		t.Fatalf("healthy recv = %+v, %v, %v", got, kind, err)
+	}
+
+	// Version skew: ErrDecode, classified failDecode.
+	bad := append([]byte(nil), fs.helloFrame()...)
+	bad[len(bad)-1] = protoVersion + 1
+	c = newTestConnCore(bad)
+	if _, kind, err := c.recv("s", 1, 10); kind != failDecode || !errors.Is(err, ErrDecode) {
+		t.Errorf("version skew: kind %v err %v, want failDecode/ErrDecode", kind, err)
+	}
+
+	// A response with no hello first: same fault class.
+	c = newTestConnCore(append([]byte(nil), fs.resultFrame([]byte("s"), 1, 10, res)...))
+	if _, kind, err := c.recv("s", 1, 10); kind != failDecode || !errors.Is(err, ErrDecode) {
+		t.Errorf("response before hello: kind %v err %v, want failDecode/ErrDecode", kind, err)
+	}
+}
+
+// TestRecvSkipsStaleFrames: frames whose (epoch, spec, seed) does not
+// match the expected response are counted and skipped — the zombie-replay
+// defense — and the live exchange still completes.
+func TestRecvSkipsStaleFrames(t *testing.T) {
+	var fs frameScratch
+	res := Result{Name: "r", Values: map[string]float64{"v": 42}}
+	var stream bytes.Buffer
+	stream.Write(fs.helloFrame())
+	stream.Write(fs.resultFrame([]byte("s"), 1, 9, res))  // stale epoch
+	stream.Write(fs.errorFrame([]byte("s"), 2, 10, "x"))  // stale seed
+	stream.Write(fs.resultFrame([]byte("t"), 1, 10, res)) // stale spec
+	stream.Write(fs.resultFrame([]byte("s"), 1, 10, res)) // the live one
+	c := newTestConnCore(stream.Bytes())
+	got, kind, err := c.recv("s", 1, 10)
+	if err != nil || kind != 0 || got.Values["v"] != 42 {
+		t.Fatalf("recv = %+v, %v, %v", got, kind, err)
+	}
+	if n := c.stales.Load(); n != 3 {
+		t.Errorf("stale frames counted = %d, want 3", n)
 	}
 }

@@ -1,0 +1,80 @@
+package scenario
+
+import "math"
+
+// CodecBenchmark is one wire-codec benchmark, exported so the figgen
+// fabric suite (-fabricjson) can time the Result codec without reaching
+// into package internals — the same pattern sim.KernelBenchmarks uses for
+// the kernel suite.
+type CodecBenchmark struct {
+	Name string
+	Doc  string
+	Run  func(n int)
+}
+
+// codecBenchResult is a realistic codec workload: a metro-experiment-sized
+// Result with a rendered table and a dozen metrics, including the float
+// specials the codec must carry bit-exactly.
+func codecBenchResult() Result {
+	table := "metric                         value\n"
+	for i := 0; i < 12; i++ {
+		table += "  some-metric-name-goes-here   123456.789012\n"
+	}
+	return Result{
+		Name:  "codec-bench",
+		Table: table,
+		Values: map[string]float64{
+			"energy_mj":       1234.5678,
+			"throughput_mbps": 42.125,
+			"latency_ms":      -0.0,
+			"drop_rate":       math.NaN(),
+			"sleep_frac":      0.9999999999999999,
+			"wake_count":      81920,
+			"beacon_misses":   math.Inf(1),
+			"queue_peak":      math.Inf(-1),
+			"airtime_frac":    0.3333333333333333,
+			"retries":         17,
+			"goodput_mbps":    41.875,
+			"idle_mj":         5e-324,
+		},
+	}
+}
+
+// CodecBenchmarks returns the wire-codec benchmark suite in a fixed
+// order. Both benchmarks run the codec the way a shard connection does at
+// steady state — reused encode scratch, per-connection decoder with
+// interned strings and a reused Values map — which is the configuration
+// the zero-alloc fabric gate pins.
+func CodecBenchmarks() []CodecBenchmark {
+	res := codecBenchResult()
+	enc, err := EncodeResult(res)
+	if err != nil {
+		panic(err)
+	}
+	return []CodecBenchmark{
+		{
+			Name: "CodecEncode",
+			Doc:  "encode one realistic 12-metric Result to wire bytes (reused scratch)",
+			Run: func(n int) {
+				var e resultEncoder
+				buf := make([]byte, 0, 2*len(enc))
+				for i := 0; i < n; i++ {
+					buf = e.appendResult(buf[:0], res)
+				}
+			},
+		},
+		{
+			Name: "CodecDecode",
+			Doc:  "decode the same wire bytes back to a Result (interning decoder)",
+			Run: func(n int) {
+				d := newResultDecoder()
+				var out Result
+				for i := 0; i < n; i++ {
+					if err := d.decode(enc, &out, true); err != nil {
+						panic(err)
+					}
+				}
+			},
+		},
+	}
+}

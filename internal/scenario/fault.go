@@ -38,8 +38,17 @@ type FaultPolicy struct {
 	// (the Local path every worker wraps anyway) instead of failing the
 	// run, so a run only errors once every path is exhausted.
 	DegradeToLocal bool
-	// ChunkSeeds is the number of consecutive seeds per lease.
+	// ChunkSeeds is the number of consecutive seeds per lease. One lease is
+	// one request frame: the worker streams one response frame per seed, so
+	// larger chunks amortize the request round trip across more seeds (at
+	// the cost of coarser retry units — a failed chunk recomputes all its
+	// seeds).
 	ChunkSeeds int
+	// Window is the number of leases a worker slot keeps in flight on its
+	// connection: all requests of a window are written before the first
+	// response is read, so transport latency is paid once per window.
+	// Negative disables pipelining (one lease at a time).
+	Window int
 
 	// DialTimeout bounds one connection attempt to a remote TCP worker
 	// (Shard.Addrs). Connection-level failure detection starts here: an
@@ -57,9 +66,10 @@ type FaultPolicy struct {
 // three reassignments per chunk, a two-minute chunk deadline (every
 // registered experiment finishes a seed in well under a second), 100 ms
 // base restart backoff capped at 5 s, degradation to local execution
-// enabled, one seed per lease, a 5 s dial timeout and a 5 s per-frame
-// read deadline (heartbeats arrive every second, so only a partition —
-// never a slow seed — can exhaust it).
+// enabled, one seed per lease, four leases pipelined per connection, a
+// 5 s dial timeout and a 5 s per-frame read deadline (heartbeats arrive
+// every second, so only a partition — never a slow seed — can exhaust
+// it).
 func DefaultFaultPolicy() FaultPolicy {
 	return FaultPolicy{
 		MaxRetries:     3,
@@ -68,6 +78,7 @@ func DefaultFaultPolicy() FaultPolicy {
 		MaxBackoff:     5 * time.Second,
 		DegradeToLocal: true,
 		ChunkSeeds:     1,
+		Window:         4,
 		DialTimeout:    5 * time.Second,
 		FrameTimeout:   5 * time.Second,
 	}
@@ -100,6 +111,11 @@ func (p FaultPolicy) normalized() FaultPolicy {
 	}
 	if p.ChunkSeeds < 1 {
 		p.ChunkSeeds = def.ChunkSeeds
+	}
+	if p.Window == 0 {
+		p.Window = def.Window
+	} else if p.Window < 0 {
+		p.Window = 1
 	}
 	if p.DialTimeout == 0 {
 		p.DialTimeout = def.DialTimeout
@@ -207,6 +223,12 @@ type ShardHealth struct {
 	Quarantined   int64 // chunks degraded to in-process execution
 	DegradedSeeds int64 // seeds computed in-process by quarantined chunks
 	StaleReplies  int64 // lease replies discarded for a superseded epoch (zombie workers)
+
+	// Fabric throughput: how fast seeds moved through the wire protocol.
+	BytesSent   int64   // protocol bytes the coordinator wrote (chunk requests)
+	BytesRecv   int64   // protocol bytes the coordinator read (responses, heartbeats)
+	ElapsedSec  float64 // wall clock from the first Run's start to the latest Run's end
+	SeedsPerSec float64 // seeds emitted per second of that wall clock (worker + degraded)
 }
 
 // Stales sums the stale frames discarded across every worker slot.
@@ -245,10 +267,16 @@ func (h ShardHealth) Chunks() int64 {
 	return n
 }
 
-// String renders the fleet-level line the CLIs report on stderr.
+// String renders the fleet-level line the CLIs report on stderr. The
+// throughput tail appears once a Run has finished (ElapsedSec > 0);
+// before that the line matches earlier releases byte for byte.
 func (h ShardHealth) String() string {
-	return fmt.Sprintf("shard: %d workers, %d chunks ok, %d failures, %d retries, %d restarts, %d quarantined (%d seeds degraded to local), %d stale drops",
+	s := fmt.Sprintf("shard: %d workers, %d chunks ok, %d failures, %d retries, %d restarts, %d quarantined (%d seeds degraded to local), %d stale drops",
 		len(h.Workers), h.Chunks(), h.Failures(), h.Retries, h.Restarts(), h.Quarantined, h.DegradedSeeds, h.Stales()+h.StaleReplies)
+	if h.ElapsedSec > 0 {
+		s += fmt.Sprintf(", %.0f seeds/s (%d B sent, %d B recvd)", h.SeedsPerSec, h.BytesSent, h.BytesRecv)
+	}
+	return s
 }
 
 // WorkerLines renders one line per worker slot for run summaries.

@@ -12,16 +12,17 @@ import (
 	"time"
 )
 
-// The TCP transport of the sweep fabric: the same length-prefixed JSON
-// frame protocol the stdio shard workers speak, lifted onto a network
-// connection so the fleet leaves the box. The coordinator side is
-// dialWorker/netConn (a slotConn the Shard supervisor drives exactly like
-// a subprocess); the worker side is ServeNet (the hidden -serve addr mode
-// of every frontend). Failure detection is connection-level: dial
-// timeouts, per-frame read deadlines kept alive by heartbeat frames, and
-// (epoch, spec, seed) matching that discards stale frames from zombie
-// sessions. Both ends are always the same build — exactly like the
-// subprocess transport — so there is still no version negotiation.
+// The TCP transport of the sweep fabric: the same binary frame protocol
+// the stdio shard workers speak, lifted onto a network connection so the
+// fleet leaves the box. The coordinator side is dialWorker/netConn (a
+// slotConn the Shard supervisor drives exactly like a subprocess); the
+// worker side is ServeNet (the hidden -serve addr mode of every
+// frontend). Failure detection is connection-level: dial timeouts,
+// per-frame read deadlines kept alive by heartbeat frames, and (epoch,
+// spec, seed) matching that discards stale frames from zombie sessions.
+// Unlike subprocess workers, a TCP fleet can mix builds — which is why
+// every session opens with a hello frame carrying protoVersion, turning a
+// protocol skew into a loud decode fault instead of a misparse.
 
 // heartbeatEvery is the default interval at which a TCP worker session
 // emits liveness frames. It must sit far inside FaultPolicy.FrameTimeout:
@@ -29,69 +30,50 @@ import (
 // distinguish "computing a long seed" from "partitioned".
 const heartbeatEvery = 1 * time.Second
 
-// dialWorker opens one coordinator→worker TCP session. stales is the
-// owning slot's stale-frame counter.
-func dialWorker(addr string, pol FaultPolicy, stales *atomic.Int64) (slotConn, error) {
+// dialWorker opens one coordinator→worker TCP session for slot w.
+func dialWorker(addr string, pol FaultPolicy, w *workerSlot) (slotConn, error) {
 	d := net.Dialer{Timeout: pol.DialTimeout}
 	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
-	return &netConn{conn: conn, br: bufio.NewReader(conn), pol: pol, stales: stales}, nil
+	return newNetConn(conn, pol, &w.stales, &w.sh.bytesSent, &w.sh.bytesRecv), nil
 }
 
-// netConn is the TCP slot transport. Unlike a subprocess's private stdio
-// stream, a TCP stream can carry frames a dead attempt left behind
-// (replays after a partition heals), so every response is matched on
-// (epoch, spec, seed) and mismatches are skipped — counted, never
-// surfaced as results.
-type netConn struct {
-	conn   net.Conn
-	br     *bufio.Reader
-	pol    FaultPolicy
-	stales *atomic.Int64
-}
-
-func (c *netConn) roundTrip(req workerRequest) (Result, failKind, error) {
-	if to := c.pol.FrameTimeout; to > 0 {
-		c.conn.SetWriteDeadline(time.Now().Add(to))
+// newNetConn wraps an established connection as a TCP slot transport.
+func newNetConn(conn net.Conn, pol FaultPolicy, stales, sent, recvd *atomic.Int64) *netConn {
+	c := &netConn{conn: conn, pol: pol}
+	c.connCore = connCore{
+		w:        conn,
+		br:       bufio.NewReader(conn),
+		tag:      "net",
+		stales:   stales,
+		sent:     sent,
+		recvd:    recvd,
+		classify: classifyNetErr,
+		dec:      newResultDecoder(),
 	}
-	if err := writeFrame(c.conn, req); err != nil {
-		return Result{}, classifyNetErr(err), fmt.Errorf("net: send %s seed %d: %w", req.Spec, req.Seed, err)
-	}
-	for {
-		// The deadline re-arms per frame: any frame — heartbeat or response —
-		// proves the worker is alive, so only silence trips it.
-		if to := c.pol.FrameTimeout; to > 0 {
-			c.conn.SetReadDeadline(time.Now().Add(to))
-		}
-		var resp workerResponse
-		if err := readFrame(c.br, &resp); err != nil {
-			kind := classifyNetErr(err)
-			if errors.Is(err, ErrDecode) {
-				kind = failDecode
+	// The per-frame deadline re-arms before every read: any frame —
+	// heartbeat or response — proves the worker is alive, so only silence
+	// trips it.
+	c.arm = func(read bool) {
+		if to := pol.FrameTimeout; to > 0 {
+			if read {
+				conn.SetReadDeadline(time.Now().Add(to))
+			} else {
+				conn.SetWriteDeadline(time.Now().Add(to))
 			}
-			return Result{}, kind, fmt.Errorf("net: %s seed %d: %w", req.Spec, req.Seed, err)
 		}
-		if resp.Heartbeat {
-			continue
-		}
-		if resp.Epoch != req.Epoch || resp.Spec != req.Spec || resp.Seed != req.Seed {
-			// A frame for some other attempt — a zombie session's replay.
-			// Skipping (rather than failing) lets the live exchange on this
-			// connection complete normally.
-			c.stales.Add(1)
-			continue
-		}
-		if resp.Err != "" {
-			return Result{}, failApp, fmt.Errorf("net: worker: %s", resp.Err)
-		}
-		res, err := DecodeResult(resp.Result)
-		if err != nil {
-			return Result{}, failDecode, fmt.Errorf("net: %s seed %d: %w", req.Spec, req.Seed, err)
-		}
-		return res, 0, nil
 	}
+	return c
+}
+
+// netConn is the TCP slot transport: connCore over a dialed connection,
+// with per-frame deadlines as the liveness clock.
+type netConn struct {
+	connCore
+	conn net.Conn
+	pol  FaultPolicy
 }
 
 func (c *netConn) interrupt() { c.conn.Close() }
@@ -173,22 +155,30 @@ func ListenAndServeNet(addr string, o NetServeOptions) error {
 	return ServeNet(ln, o)
 }
 
-// serveNetSession is the per-connection loop: requests in, heartbeats and
-// responses out (serialized by a write mutex so a heartbeat can never
-// split a response frame). Responses come from the same handleRequest the
-// stdio worker uses, so the two transports cannot diverge semantically.
+// serveNetSession is the per-connection loop: hello first, then chunk
+// requests in, heartbeats and per-seed responses out (serialized by a
+// write mutex so a heartbeat can never split a response frame). Seed
+// execution and response framing mirror serveWorker exactly, so the two
+// transports cannot diverge semantically; like the stdio worker, chaos
+// triggers count executed seeds, not frames.
 func serveNetSession(conn net.Conn, hb time.Duration, chaos Chaos, byName map[string]Spec, logw io.Writer, gen int) {
 	defer conn.Close()
 	var wmu sync.Mutex
-	write := func(resp workerResponse) error {
+	write := func(frame []byte) error {
 		wmu.Lock()
 		defer wmu.Unlock()
-		return writeFrame(conn, resp)
+		_, err := conn.Write(frame)
+		return err
+	}
+	var fs frameScratch
+	if write(fs.helloFrame()) != nil {
+		return
 	}
 	var hbOff atomic.Bool
 	hbStop := make(chan struct{})
 	defer close(hbStop)
 	if hb > 0 {
+		hbFrame := (&frameScratch{}).heartbeatFrame() // own buffer: never races fs
 		go func() {
 			t := time.NewTicker(hb)
 			defer t.Stop()
@@ -200,7 +190,7 @@ func serveNetSession(conn net.Conn, hb time.Duration, chaos Chaos, byName map[st
 					if hbOff.Load() {
 						continue
 					}
-					if write(workerResponse{Heartbeat: true}) != nil {
+					if write(hbFrame) != nil {
 						return
 					}
 				}
@@ -208,44 +198,66 @@ func serveNetSession(conn net.Conn, hb time.Duration, chaos Chaos, byName map[st
 		}()
 	}
 	br := bufio.NewReader(conn)
-	var prev *workerResponse
+	var inbuf []byte
+	var seeds []int64
+	var prev []byte // copy of the previous response frame, for replay chaos
 	blackholed := false
-	for n := 1; ; n++ {
-		var req workerRequest
-		if err := readFrame(br, &req); err != nil {
+	n := 0 // executed-seed counter: the chaos schedule's clock
+	for {
+		payload, err := readRawFrame(br, &inbuf)
+		if err != nil {
 			return // coordinator closed (or broke) the connection
 		}
+		req, err := parseWireRequest(payload, seeds[:0])
+		if err != nil {
+			return
+		}
+		seeds = req.seeds
 		if blackholed {
 			continue // swallow everything; the coordinator's deadline reaps us
 		}
-		if chaos.SlowLink > 0 {
-			time.Sleep(chaos.SlowLink)
+		spec, ok := byName[string(req.spec)]
+		if !ok {
+			spec, ok = Lookup(string(req.spec))
 		}
-		if chaos.DelayEvery > 0 && n%chaos.DelayEvery == 0 {
-			time.Sleep(chaos.Delay)
-		}
-		if chaos.DropConnAfter > 0 && n == chaos.DropConnAfter {
-			fmt.Fprintf(logw, "chaos: dropping connection on request %d (gen %d)\n", n, gen)
-			return
-		}
-		if chaos.BlackholeAfter > 0 && n == chaos.BlackholeAfter {
-			fmt.Fprintf(logw, "chaos: blackholing connection from request %d (gen %d)\n", n, gen)
-			hbOff.Store(true)
-			blackholed = true
-			continue
-		}
-		resp := handleRequest(req, byName)
-		if chaos.ReplayAfter > 0 && n == chaos.ReplayAfter && prev != nil {
-			// A stale frame ahead of the real response: the coordinator must
-			// discard it on (epoch, spec, seed) and still complete cleanly.
-			fmt.Fprintf(logw, "chaos: replaying stale frame before response %d (gen %d)\n", n, gen)
-			if write(*prev) != nil {
+		for _, seed := range req.seeds {
+			n++
+			if chaos.SlowLink > 0 {
+				time.Sleep(chaos.SlowLink)
+			}
+			if chaos.DelayEvery > 0 && n%chaos.DelayEvery == 0 {
+				time.Sleep(chaos.Delay)
+			}
+			if chaos.DropConnAfter > 0 && n == chaos.DropConnAfter {
+				fmt.Fprintf(logw, "chaos: dropping connection on seed %d (gen %d)\n", n, gen)
 				return
 			}
+			if chaos.BlackholeAfter > 0 && n == chaos.BlackholeAfter {
+				fmt.Fprintf(logw, "chaos: blackholing connection from seed %d (gen %d)\n", n, gen)
+				hbOff.Store(true)
+				blackholed = true
+				break // the rest of the chunk vanishes too
+			}
+			var frame []byte
+			if !ok {
+				frame = fs.errorFrame(req.spec, seed, req.epoch, fmt.Sprintf("unknown experiment %q", req.spec))
+			} else if res, err := executeSafe(spec, seed); err != nil {
+				frame = fs.errorFrame(req.spec, seed, req.epoch, err.Error())
+			} else {
+				frame = fs.resultFrame(req.spec, seed, req.epoch, res)
+			}
+			if chaos.ReplayAfter > 0 && n == chaos.ReplayAfter && prev != nil {
+				// A stale frame ahead of the real response: the coordinator must
+				// discard it on (epoch, spec, seed) and still complete cleanly.
+				fmt.Fprintf(logw, "chaos: replaying stale frame before response %d (gen %d)\n", n, gen)
+				if write(prev) != nil {
+					return
+				}
+			}
+			if write(frame) != nil {
+				return
+			}
+			prev = append(prev[:0], frame...)
 		}
-		if write(resp) != nil {
-			return
-		}
-		prev = &resp
 	}
 }

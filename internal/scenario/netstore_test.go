@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bufio"
+	"math"
 	"net"
 	"reflect"
 	"testing"
@@ -152,5 +153,69 @@ func TestStoreUndecodablePutRejected(t *testing.T) {
 	}
 	if _, ok := (diskStore{root: dir}).load("bad/entry.json"); ok {
 		t.Error("undecodable put landed in the store dir")
+	}
+}
+
+// TestStoreBinaryRoundTripsOverWire: a binary-codec entry survives the
+// store protocol end to end — PUT re-encodes it to disk, GET returns
+// bytes that decode bit-identically, hostile floats included.
+func TestStoreBinaryRoundTripsOverWire(t *testing.T) {
+	addr, _ := startStoreServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	res := Result{
+		Name:  "bin",
+		Table: "t",
+		Values: map[string]float64{
+			"nan":     math.NaN(),
+			"neginf":  math.Inf(-1),
+			"negzero": math.Copysign(0, -1),
+		},
+	}
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != resultMagic {
+		t.Fatalf("EncodeResult is not the binary codec (first byte %#x)", data[0])
+	}
+	const key = "v1/bin-000000/seed1.json"
+	if err := writeFrame(conn, storeRequest{Op: "put", Key: key, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	var putResp storeResponse
+	if err := readFrame(br, &putResp); err != nil {
+		t.Fatal(err)
+	}
+	if putResp.Err != "" {
+		t.Fatalf("binary put rejected: %+v", putResp)
+	}
+
+	if err := writeFrame(conn, storeRequest{Op: "get", Key: key}); err != nil {
+		t.Fatal(err)
+	}
+	var getResp storeResponse
+	if err := readFrame(br, &getResp); err != nil {
+		t.Fatal(err)
+	}
+	if getResp.Err != "" || !getResp.Found {
+		t.Fatalf("binary get failed: %+v", getResp)
+	}
+	got, err := DecodeResult(getResp.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != res.Name || got.Table != res.Table || len(got.Values) != len(res.Values) {
+		t.Fatalf("round trip changed shape: %+v vs %+v", got, res)
+	}
+	for k, want := range res.Values {
+		if math.Float64bits(got.Values[k]) != math.Float64bits(want) {
+			t.Errorf("%s: %#x, want %#x", k, math.Float64bits(got.Values[k]), math.Float64bits(want))
+		}
 	}
 }

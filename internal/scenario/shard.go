@@ -16,8 +16,8 @@ import (
 )
 
 // Shard executes seeds on a supervised pool of worker slots. A slot's
-// transport is one of two interchangeable kinds speaking the same
-// length-prefixed JSON frame protocol:
+// transport is one of two interchangeable kinds speaking the same binary
+// frame protocol (versioned via the hello frame — see codec.go):
 //
 //   - subprocess (default): the current binary re-executed with the hidden
 //     -worker flag (plus the original command line, so workers rebuild any
@@ -26,27 +26,37 @@ import (
 //     same protocol over TCP (the hidden -serve addr mode, see ServeNet),
 //     so the fleet leaves the box.
 //
+// Pipelining. Requests are chunk-granular — one frame carries a whole
+// seed chunk, the worker streams one response frame per seed — so a lease
+// costs one round trip however many seeds it holds. On top of that each
+// slot keeps up to FaultPolicy.Window leases in flight on its connection:
+// all requests of a batch are written before the first response is read,
+// so transport latency is paid once per window, not once per seed.
+// Responses arrive in request order (workers are serial), and every frame
+// still echoes its (epoch, spec, seed) identity for stale matching.
+//
 // Supervision. A coordinator leases (spec, seed-chunk) units to worker
 // slots. A slot detects failure at the process level (exit, broken pipe),
 // the connection level (dial timeout, dropped connection, per-frame read
 // deadline with heartbeat keep-alive — a partitioned TCP worker stops
 // heartbeating and is torn down), the time level (per-chunk deadline), and
-// the stream level (frame/Result decode error); on any of them the dead
-// transport is reaped, the slot reconnects or respawns on demand with
-// capped exponential backoff plus jitter, and the chunk is reassigned.
-// Every lease attempt carries a fresh epoch: responses are matched on
-// (epoch, spec, seed), so a zombie or partitioned worker replaying a stale
-// chunk after its lease was reassigned is discarded — counted, never
-// double-emitted. A chunk that exhausts its retry budget is quarantined to
-// in-process execution (graceful degradation to the Local path) when the
-// policy allows, so a run only errors when every path is exhausted.
-// Because every seed is deterministic and Results cross the boundary
-// bit-exactly, a retried or degraded chunk is indistinguishable from a
-// first-attempt one: the fabric tolerates crashes, hangs, partitions and
-// corrupt frames without costing a single output bit (the chaos-injected
-// cross-backend equivalence test pins exactly that). Worker-reported
-// application errors (unknown spec, experiment panic) are terminal: the
-// fleet is healthy, so retrying cannot fix the request.
+// the stream level (frame/Result decode error, protocol-version mismatch);
+// on any of them the dead transport is reaped, the slot reconnects or
+// respawns on demand with capped exponential backoff plus jitter, and the
+// chunk is reassigned. Every lease attempt carries a fresh epoch:
+// responses are matched on (epoch, spec, seed), so a zombie or partitioned
+// worker replaying a stale chunk after its lease was reassigned is
+// discarded — counted, never double-emitted. A chunk that exhausts its
+// retry budget is quarantined to in-process execution (graceful
+// degradation to the Local path) when the policy allows, so a run only
+// errors when every path is exhausted. Because every seed is deterministic
+// and Results cross the boundary bit-exactly, a retried or degraded chunk
+// is indistinguishable from a first-attempt one: the fabric tolerates
+// crashes, hangs, partitions and corrupt frames without costing a single
+// output bit (the chaos-injected cross-backend equivalence test pins
+// exactly that). Worker-reported application errors (unknown spec,
+// experiment panic) are terminal: the fleet is healthy, so retrying
+// cannot fix the request.
 //
 // The pool starts lazily on the first Run and is shared across concurrent
 // Run calls, so a Runner fanning the whole registry over one Shard keeps
@@ -54,7 +64,8 @@ import (
 // before emission, so the aggregate is bit-identical to the Local
 // backend's. Close shuts the workers down; callers that finished running
 // should Close to reap subprocesses and connections. Health returns the
-// supervision counters accumulated so far.
+// supervision counters accumulated so far, including fabric throughput
+// (seeds/sec, protocol bytes moved).
 type Shard struct {
 	Workers int         // slot count; values < 1 mean runtime.NumCPU() (or len(Addrs) for TCP)
 	Argv    []string    // worker command; nil means {os.Executable(), "-worker", os.Args[1:]...}
@@ -77,6 +88,11 @@ type Shard struct {
 	quarantined  atomic.Int64
 	degraded     atomic.Int64
 	staleReplies atomic.Int64
+
+	bytesSent atomic.Int64 // protocol bytes written to worker transports
+	bytesRecv atomic.Int64 // protocol bytes read from worker transports
+	runStart  atomic.Int64 // UnixNano of the first Run; throughput clock start
+	runEnd    atomic.Int64 // UnixNano of the latest Run completion
 }
 
 // lease is one (spec, seed-chunk) unit of work: a run of consecutive
@@ -103,16 +119,119 @@ type leaseResult struct {
 }
 
 // slotConn is one live transport session filling a worker slot: a
-// subprocess's stdio pipes or a dialed TCP connection. roundTrip performs
-// one request/response exchange and classifies any failure; interrupt
-// makes blocked I/O fail now (the chunk-deadline enforcement); abort is
-// the hard teardown after a fault; shutdown the graceful close at pool
-// shutdown.
+// subprocess's stdio pipes or a dialed TCP connection. send writes one
+// chunk request; recv reads the response frame for one seed of it —
+// splitting the exchange is what lets the supervisor pipeline a window of
+// leases before reading anything back. interrupt makes blocked I/O fail
+// now (the chunk-deadline enforcement); abort is the hard teardown after
+// a fault; shutdown the graceful close at pool shutdown.
 type slotConn interface {
-	roundTrip(req workerRequest) (Result, failKind, error)
+	send(spec string, seeds []int64, epoch int64) (failKind, error)
+	recv(spec string, seed, epoch int64) (Result, failKind, error)
 	interrupt()
 	abort()
 	shutdown()
+}
+
+// connCore is the transport-independent half of a slot connection: binary
+// frame encode/decode with reused scratch (the send path builds each
+// frame in one buffer and writes it with a single Write; the recv path
+// reads into one reused buffer and decodes Results through an interning
+// decoder), hello/version validation, stale-frame matching and byte
+// accounting. procConn and netConn embed it and add transport-specific
+// teardown; the deadline hook and error classifier are the only behavior
+// that differs between the two on the data path.
+type connCore struct {
+	w      io.Writer
+	br     *bufio.Reader
+	tag    string // error-message prefix: "shard" (subprocess) or "net" (TCP)
+	stales *atomic.Int64
+	sent   *atomic.Int64
+	recvd  *atomic.Int64
+
+	// arm arms the transport's per-frame deadline before a read or write;
+	// nil for transports without deadlines (subprocess pipes — the chunk
+	// timer is their only clock).
+	arm func(read bool)
+	// classify maps a raw transport error to the failure taxonomy.
+	classify func(error) failKind
+
+	fs      frameScratch
+	inbuf   []byte
+	dec     *resultDecoder
+	helloOK bool
+}
+
+// send writes one chunk request as a single frame (header and payload in
+// one Write — no torn-frame window, no per-seed round trips).
+func (c *connCore) send(spec string, seeds []int64, epoch int64) (failKind, error) {
+	frame := c.fs.requestFrame(spec, seeds, epoch)
+	if c.arm != nil {
+		c.arm(false)
+	}
+	if _, err := c.w.Write(frame); err != nil {
+		return c.classify(err), fmt.Errorf("%s: send %s chunk: %w", c.tag, spec, err)
+	}
+	c.sent.Add(int64(len(frame)))
+	return 0, nil
+}
+
+// recv reads frames until the response for (epoch, spec, seed) arrives.
+// Heartbeats only prove liveness (they re-arm the per-frame deadline);
+// the first non-heartbeat frame of a session must be a hello carrying
+// protoVersion, so a build skew fails loudly as a decode fault instead of
+// a misparse. Frames for any other (epoch, spec, seed) are stale — a
+// zombie session's replays — and are skipped and counted, never surfaced.
+func (c *connCore) recv(spec string, seed, epoch int64) (Result, failKind, error) {
+	for {
+		if c.arm != nil {
+			c.arm(true)
+		}
+		payload, err := readRawFrame(c.br, &c.inbuf)
+		if err != nil {
+			kind := c.classify(err)
+			if errors.Is(err, ErrDecode) {
+				kind = failDecode
+			}
+			return Result{}, kind, fmt.Errorf("%s: %s seed %d: %w", c.tag, spec, seed, err)
+		}
+		c.recvd.Add(int64(4 + len(payload)))
+		m, err := parseWireMsg(payload)
+		if err != nil {
+			return Result{}, failDecode, fmt.Errorf("%s: %s seed %d: %w", c.tag, spec, seed, err)
+		}
+		switch m.ftype {
+		case frameHeartbeat:
+			continue
+		case frameHello:
+			if c.helloOK {
+				return Result{}, failDecode, fmt.Errorf("%s: %w: unexpected mid-session hello", c.tag, ErrDecode)
+			}
+			if m.version != protoVersion {
+				return Result{}, failDecode, fmt.Errorf("%s: %w: worker speaks protocol version %d, want %d", c.tag, ErrDecode, m.version, protoVersion)
+			}
+			c.helloOK = true
+			continue
+		}
+		if !c.helloOK {
+			return Result{}, failDecode, fmt.Errorf("%s: %w: response before hello", c.tag, ErrDecode)
+		}
+		if m.epoch != epoch || string(m.spec) != spec || m.seed != seed {
+			// A frame for some other attempt — a zombie session's replay.
+			// Skipping (rather than failing) lets the live exchange on this
+			// connection complete normally.
+			c.stales.Add(1)
+			continue
+		}
+		if m.ftype == frameError {
+			return Result{}, failApp, fmt.Errorf("%s: worker: %s", c.tag, m.errMsg)
+		}
+		var res Result
+		if err := c.dec.decode(m.result, &res, false); err != nil {
+			return Result{}, failDecode, fmt.Errorf("%s: %s seed %d: %w", c.tag, spec, seed, err)
+		}
+		return res, 0, nil
+	}
 }
 
 // workerSlot supervises one worker position in the pool: it owns at most
@@ -128,7 +247,7 @@ type workerSlot struct {
 	conn slotConn
 	gen  int // sessions opened in this slot so far
 
-	consecFails int // consecutive failed leases/opens, drives the backoff
+	consecFails int // consecutive failed batches/opens, drives the backoff
 
 	restarts, chunks, seeds                      atomic.Int64
 	spawnFails, exits, timeouts, decodes, stales atomic.Int64
@@ -165,13 +284,15 @@ func (s *Shard) start() {
 			n = runtime.NumCPU()
 		}
 	}
-	s.jobs = make(chan *lease)
+	// Buffered so a slot collecting its pipelining window finds queued
+	// leases without blocking on the producer.
+	s.jobs = make(chan *lease, n*s.pol.Window)
 	s.slots = make([]*workerSlot, n)
 	for i := 0; i < n; i++ {
 		w := &workerSlot{id: i, sh: s}
 		if len(s.Addrs) > 0 {
 			addr := s.Addrs[i%len(s.Addrs)] // slots round-robin over the fleet
-			w.open = func() (slotConn, error) { return dialWorker(addr, s.pol, &w.stales) }
+			w.open = func() (slotConn, error) { return dialWorker(addr, s.pol, w) }
 		} else {
 			w.open = w.spawnWorker
 		}
@@ -181,47 +302,28 @@ func (s *Shard) start() {
 	}
 }
 
-// supervise is one slot's loop: take a lease, make sure a transport
-// session is live (opening is lazy and retried with backoff), run the
-// chunk, report the outcome. Any fault tears the session down; the next
-// lease opens a fresh one.
+// supervise is one slot's loop: take a lease, opportunistically collect
+// up to Window-1 more already-queued ones (never blocking for them), and
+// run them as one pipelined batch on the slot's session.
 func (w *workerSlot) supervise() {
 	defer w.sh.wg.Done()
 	defer w.stop()
+	batch := make([]*lease, 0, w.sh.pol.Window)
 	for l := range w.sh.jobs {
-		if err := w.ensureStarted(); err != nil {
-			w.spawnFails.Add(1)
-			w.consecFails++
-			l.reply <- leaseResult{l: l, epoch: l.epoch, worker: w.id, kind: failSpawn,
-				err: fmt.Errorf("shard: [w%d] open worker: %w", w.id, err)}
-			w.backoff()
-			continue
-		}
-		res, kind, err := w.runLease(l)
-		if err != nil {
-			switch kind {
-			case failTimeout:
-				w.timeouts.Add(1)
-			case failDecode:
-				w.decodes.Add(1)
-			case failApp:
-				// The worker answered; the request itself is broken. Keep
-				// the session and report the terminal error.
-				l.reply <- leaseResult{l: l, epoch: l.epoch, worker: w.id, kind: kind, err: err}
-				continue
+		batch = append(batch[:0], l)
+	collect:
+		for len(batch) < w.sh.pol.Window {
+			select {
+			case l2, ok := <-w.sh.jobs:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, l2)
 			default:
-				w.exits.Add(1)
+				break collect
 			}
-			w.consecFails++
-			w.kill()
-			l.reply <- leaseResult{l: l, epoch: l.epoch, worker: w.id, kind: kind, err: err}
-			w.backoff()
-			continue
 		}
-		w.consecFails = 0
-		w.chunks.Add(1)
-		w.seeds.Add(int64(len(l.seeds)))
-		l.reply <- leaseResult{l: l, epoch: l.epoch, worker: w.id, res: res}
+		w.runBatch(batch)
 	}
 }
 
@@ -289,37 +391,112 @@ func (w *workerSlot) spawnWorker() (slotConn, error) {
 		sink = os.Stderr
 	}
 	go prefixLines(sink, stderrR, fmt.Sprintf("[w%d] ", w.id))
-	return &procConn{cmd: cmd, in: stdin, out: bufio.NewReader(stdout)}, nil
+	return &procConn{
+		connCore: connCore{
+			w:        stdin,
+			br:       bufio.NewReader(stdout),
+			tag:      "shard",
+			stales:   &w.stales,
+			sent:     &w.sh.bytesSent,
+			recvd:    &w.sh.bytesRecv,
+			classify: func(error) failKind { return failExit },
+			dec:      newResultDecoder(),
+		},
+		cmd: cmd,
+		in:  stdin,
+	}, nil
 }
 
-// runLease exchanges the chunk's (request, response) frames with the live
-// session under the chunk deadline. The deadline is enforced by
-// interrupting the transport — the blocked exchange then fails and the
-// failure is classified as a timeout.
-func (w *workerSlot) runLease(l *lease) ([]Result, failKind, error) {
+// runBatch drives one pipelined batch: open the session if needed, write
+// every lease's chunk request back-to-back, then read the streamed
+// responses in the same order. The chunk deadline is per lease — the
+// timer re-arms as each lease completes — enforced by interrupting the
+// transport so the blocked exchange fails as a timeout.
+func (w *workerSlot) runBatch(batch []*lease) {
+	if err := w.ensureStarted(); err != nil {
+		// The session never existed, so no lease was attempted: charge the
+		// spawn failure to the first lease and put the rest back untouched.
+		w.spawnFails.Add(1)
+		w.consecFails++
+		batch[0].reply <- leaseResult{l: batch[0], epoch: batch[0].epoch, worker: w.id, kind: failSpawn,
+			err: fmt.Errorf("shard: [w%d] open worker: %w", w.id, err)}
+		for _, l := range batch[1:] {
+			go func(l *lease) { w.sh.jobs <- l }(l)
+		}
+		w.backoff()
+		return
+	}
+	conn := w.conn
 	var timedOut atomic.Bool
-	if to := w.sh.pol.ChunkTimeout; to > 0 {
-		conn := w.conn
-		t := time.AfterFunc(to, func() {
+	var timer *time.Timer
+	to := w.sh.pol.ChunkTimeout
+	if to > 0 {
+		timer = time.AfterFunc(to, func() {
 			timedOut.Store(true)
 			conn.interrupt()
 		})
-		defer t.Stop()
+		defer timer.Stop()
 	}
-	out := make([]Result, len(l.seeds))
-	for i, seed := range l.seeds {
-		res, kind, err := w.conn.roundTrip(workerRequest{Spec: l.spec.Name, Seed: seed, Epoch: l.epoch})
-		if err != nil {
-			if timedOut.Load() && kind != failApp {
-				kind = failTimeout
-				err = fmt.Errorf("shard: [w%d] %s seed %d: chunk deadline %s exceeded: %w",
-					w.id, l.spec.Name, seed, w.sh.pol.ChunkTimeout, err)
-			}
-			return nil, kind, err
+	fail := func(from int, kind failKind, err error) {
+		if timedOut.Load() && kind != failApp {
+			kind = failTimeout
+			err = fmt.Errorf("shard: [w%d] chunk deadline %s exceeded: %w", w.id, to, err)
 		}
-		out[i] = res
+		switch kind {
+		case failTimeout:
+			w.timeouts.Add(int64(len(batch) - from))
+		case failDecode:
+			w.decodes.Add(int64(len(batch) - from))
+		default:
+			w.exits.Add(int64(len(batch) - from))
+		}
+		w.consecFails++
+		w.kill()
+		for _, l := range batch[from:] {
+			l.reply <- leaseResult{l: l, epoch: l.epoch, worker: w.id, kind: kind, err: err}
+		}
+		w.backoff()
 	}
-	return out, 0, nil
+	for _, l := range batch {
+		if kind, err := conn.send(l.spec.Name, l.seeds, l.epoch); err != nil {
+			// Nothing was received yet, so no lease of this batch completed:
+			// the dead transport fails them all.
+			fail(0, kind, err)
+			return
+		}
+	}
+	for bi, l := range batch {
+		out := make([]Result, len(l.seeds))
+		var appErr error
+		for si, seed := range l.seeds {
+			res, kind, err := conn.recv(l.spec.Name, seed, l.epoch)
+			if err != nil {
+				if kind == failApp {
+					// The worker answered: the request is broken but the session
+					// — and the rest of the streamed chunk — is healthy. Keep
+					// draining so later leases stay in sync.
+					if appErr == nil {
+						appErr = err
+					}
+					continue
+				}
+				fail(bi, kind, err)
+				return
+			}
+			out[si] = res
+		}
+		if appErr != nil {
+			l.reply <- leaseResult{l: l, epoch: l.epoch, worker: w.id, kind: failApp, err: appErr}
+		} else {
+			w.chunks.Add(1)
+			w.seeds.Add(int64(len(l.seeds)))
+			l.reply <- leaseResult{l: l, epoch: l.epoch, worker: w.id, res: out}
+		}
+		if timer != nil {
+			timer.Reset(to)
+		}
+	}
+	w.consecFails = 0
 }
 
 // kill reaps the slot's transport session after a fault.
@@ -349,39 +526,14 @@ func (w *workerSlot) backoff() {
 	}
 }
 
-// procConn is the subprocess transport: the worker's stdio pipes plus the
-// process handle for teardown.
+// procConn is the subprocess transport: connCore over the worker's stdio
+// pipes plus the process handle for teardown. The stdio stream has no
+// per-frame deadline (arm is nil) — the chunk timer is its only clock —
+// and every transport error is a process exit or broken pipe.
 type procConn struct {
+	connCore
 	cmd *exec.Cmd
 	in  io.WriteCloser
-	out *bufio.Reader
-}
-
-// roundTrip performs one request/response exchange with the subprocess
-// and classifies any failure for the supervisor. The stdio stream is
-// strictly ordered and private to this parent, so no stale-frame scan is
-// needed: the next frame is the response (the worker echoes the epoch
-// regardless, and the TCP transport checks it).
-func (c *procConn) roundTrip(req workerRequest) (Result, failKind, error) {
-	if err := writeFrame(c.in, req); err != nil {
-		return Result{}, failExit, fmt.Errorf("shard: send %s seed %d: %w", req.Spec, req.Seed, err)
-	}
-	var resp workerResponse
-	if err := readFrame(c.out, &resp); err != nil {
-		kind := failExit
-		if errors.Is(err, ErrDecode) {
-			kind = failDecode
-		}
-		return Result{}, kind, fmt.Errorf("shard: %s seed %d: %w", req.Spec, req.Seed, err)
-	}
-	if resp.Err != "" {
-		return Result{}, failApp, fmt.Errorf("shard: worker: %s", resp.Err)
-	}
-	res, err := DecodeResult(resp.Result)
-	if err != nil {
-		return Result{}, failDecode, fmt.Errorf("shard: %s seed %d: %w", req.Spec, req.Seed, err)
-	}
-	return res, 0, nil
 }
 
 func (c *procConn) interrupt() { c.cmd.Process.Kill() }
@@ -436,6 +588,8 @@ func (s *Shard) Run(spec Spec, seeds []int64, emit Emit) error {
 	if s.jobs == nil {
 		return errors.New("shard: executor is closed")
 	}
+	s.runStart.CompareAndSwap(0, time.Now().UnixNano())
+	defer func() { s.runEnd.Store(time.Now().UnixNano()) }()
 	pol := s.pol
 	numLeases := (len(seeds) + pol.ChunkSeeds - 1) / pol.ChunkSeeds
 	// Buffered for the worst case — every attempt of every lease replies —
@@ -536,17 +690,22 @@ func (s *Shard) runQuarantined(l *lease) {
 }
 
 // Health snapshots the supervision counters: per-slot worker health plus
-// the coordinator's retry/quarantine/stale totals. A Shard that never ran
-// reports an empty fleet; a fault-free run reports all-zero counters.
+// the coordinator's retry/quarantine/stale totals and the fabric
+// throughput (seeds/sec over the Run wall clock, protocol bytes moved). A
+// Shard that never ran reports an empty fleet; a fault-free run reports
+// all-zero failure counters.
 func (s *Shard) Health() ShardHealth {
 	h := ShardHealth{
 		Retries:       s.retries.Load(),
 		Quarantined:   s.quarantined.Load(),
 		DegradedSeeds: s.degraded.Load(),
 		StaleReplies:  s.staleReplies.Load(),
+		BytesSent:     s.bytesSent.Load(),
+		BytesRecv:     s.bytesRecv.Load(),
 	}
+	seeds := h.DegradedSeeds
 	for _, w := range s.slots {
-		h.Workers = append(h.Workers, WorkerHealth{
+		wh := WorkerHealth{
 			ID:         w.id,
 			Restarts:   w.restarts.Load(),
 			Chunks:     w.chunks.Load(),
@@ -556,7 +715,13 @@ func (s *Shard) Health() ShardHealth {
 			Timeouts:   w.timeouts.Load(),
 			DecodeErrs: w.decodes.Load(),
 			Stales:     w.stales.Load(),
-		})
+		}
+		seeds += wh.Seeds
+		h.Workers = append(h.Workers, wh)
+	}
+	if start, end := s.runStart.Load(), s.runEnd.Load(); start != 0 && end > start {
+		h.ElapsedSec = float64(end-start) / 1e9
+		h.SeedsPerSec = float64(seeds) / h.ElapsedSec
 	}
 	return h
 }

@@ -11,8 +11,9 @@ import (
 )
 
 // TestServeWorkerProtocol drives the worker loop over in-memory pipes —
-// no subprocess — checking request/response framing, extra-spec
-// precedence, unknown names and panic conversion.
+// no subprocess — checking the hello handshake, chunk-request framing
+// with per-seed streamed responses, extra-spec precedence, unknown names
+// and panic conversion.
 func TestServeWorkerProtocol(t *testing.T) {
 	extra := Spec{
 		Name: "test-extra", Desc: "extra",
@@ -24,45 +25,59 @@ func TestServeWorkerProtocol(t *testing.T) {
 		},
 	}
 	var in, out bytes.Buffer
-	for _, req := range []workerRequest{
-		{Spec: "test-extra", Seed: 4},
-		{Spec: "test-shardable", Seed: 13},
-		{Spec: "test-no-such-spec", Seed: 1},
-		{Spec: "test-extra", Seed: 99},
-	} {
-		if err := writeFrame(&in, req); err != nil {
-			t.Fatal(err)
-		}
-	}
+	var fs frameScratch
+	in.Write(fs.requestFrame("test-extra", []int64{4, 6}, 41)) // one chunk, two seeds
+	in.Write(fs.requestFrame("test-shardable", []int64{13}, 42))
+	in.Write(fs.requestFrame("test-no-such-spec", []int64{1}, 43))
+	in.Write(fs.requestFrame("test-extra", []int64{99}, 44))
 	if err := ServeWorker(&in, &out, extra); err != nil {
 		t.Fatal(err)
 	}
 
-	read := func() workerResponse {
+	var buf []byte
+	read := func() wireMsg {
 		t.Helper()
-		var resp workerResponse
-		if err := readFrame(&out, &resp); err != nil {
+		p, err := readRawFrame(&out, &buf)
+		if err != nil {
 			t.Fatal(err)
 		}
-		return resp
+		m, err := parseWireMsg(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
 	}
-	r := read()
-	res, err := DecodeResult(r.Result)
-	if err != nil || res.Values["v"] != 8 {
-		t.Errorf("extra spec: %+v / %v", res, err)
+	if m := read(); m.ftype != frameHello || m.version != protoVersion {
+		t.Fatalf("first frame = %+v, want hello v%d", m, protoVersion)
 	}
-	r = read()
-	if res, err = DecodeResult(r.Result); err != nil || !math.IsNaN(res.Values["nan"]) {
-		t.Errorf("registry spec seed 13: %+v / %v", res, err)
+	readResult := func(spec string, seed, epoch int64) Result {
+		t.Helper()
+		m := read()
+		if m.ftype != frameResult || string(m.spec) != spec || m.seed != seed || m.epoch != epoch {
+			t.Fatalf("frame = %+v, want result for %s seed %d epoch %d", m, spec, seed, epoch)
+		}
+		res, err := DecodeResult(m.result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
-	if r = read(); !strings.Contains(r.Err, "test-no-such-spec") {
-		t.Errorf("unknown spec error = %q", r.Err)
+	if res := readResult("test-extra", 4, 41); res.Values["v"] != 8 {
+		t.Errorf("extra spec seed 4: %+v", res)
 	}
-	if r = read(); !strings.Contains(r.Err, "boom") {
-		t.Errorf("panic not converted to error: %q", r.Err)
+	if res := readResult("test-extra", 6, 41); res.Values["v"] != 12 {
+		t.Errorf("extra spec seed 6 (same chunk): %+v", res)
 	}
-	var end workerResponse
-	if err := readFrame(&out, &end); err != io.EOF {
+	if res := readResult("test-shardable", 13, 42); !math.IsNaN(res.Values["nan"]) {
+		t.Errorf("registry spec seed 13: %+v", res)
+	}
+	if m := read(); m.ftype != frameError || !strings.Contains(string(m.errMsg), "test-no-such-spec") {
+		t.Errorf("unknown spec frame = %+v", m)
+	}
+	if m := read(); m.ftype != frameError || !strings.Contains(string(m.errMsg), "boom") {
+		t.Errorf("panic not converted to error frame: %+v", m)
+	}
+	if _, err := readRawFrame(&out, &buf); err != io.EOF {
 		t.Errorf("worker wrote extra frames: %v", err)
 	}
 }

@@ -13,46 +13,31 @@ import (
 // The worker side of the shard protocol. A worker is the same binary as
 // the parent, re-executed with the hidden -worker flag: it parses the same
 // command line (so ad-hoc specs built from CLI parameters are
-// reconstructed identically), then serves (spec-name, seed) requests over
-// stdin/stdout as length-prefixed JSON frames until EOF. The protocol is
-// internal — both ends are always the same build, so there is no version
-// negotiation, and the code-version question is moot by construction.
+// reconstructed identically), then serves chunk requests over stdin/stdout
+// as binary frames until EOF. The session opens with a hello frame
+// announcing protoVersion — both ends are normally the same build, but the
+// TCP transport can connect across builds, so the version byte turns a
+// protocol skew into a loud decode fault instead of a misparse.
+//
+// One request frame carries a whole seed chunk; the worker streams one
+// result or error frame back per seed, each echoing the request's (epoch,
+// spec, seed) identity. The coordinator discards any response whose
+// identity does not match a lease in flight — so a zombie or partitioned
+// worker replaying a stale chunk after its lease was reassigned can never
+// double-emit a seed.
 
-// workerRequest asks the worker to run one seed of one experiment,
-// resolved by name against the registry (plus any extra specs the serving
-// command supplied). Epoch is the coordinator's lease epoch for this
-// attempt: workers echo it verbatim, and the coordinator discards any
-// response whose (epoch, spec, seed) does not match the request in flight
-// — so a zombie or partitioned worker replaying a stale chunk after its
-// lease was reassigned can never double-emit a seed.
-type workerRequest struct {
-	Spec  string `json:"spec"`
-	Seed  int64  `json:"seed"`
-	Epoch int64  `json:"epoch,omitempty"`
-}
-
-// workerResponse carries the codec-encoded Result, or the error that
-// prevented one. Heartbeat frames (TCP transport only) carry neither:
-// they exist so the coordinator's per-frame read deadline distinguishes
-// "computing a long seed" from "partitioned".
-type workerResponse struct {
-	Spec      string `json:"spec,omitempty"`
-	Seed      int64  `json:"seed,omitempty"`
-	Epoch     int64  `json:"epoch,omitempty"`
-	Result    []byte `json:"result,omitempty"` // EncodeResult bytes
-	Err       string `json:"err,omitempty"`
-	Heartbeat bool   `json:"hb,omitempty"` // liveness-only frame; no payload
-}
-
-// ServeWorker runs the shard worker loop: read a request frame, resolve
+// ServeWorker runs the shard worker loop: read a chunk request, resolve
 // the spec (extra specs take precedence over the registry, mirroring how
 // macbench/hotspotsim layer their flag-built specs over the catalogue),
-// execute the seed, write a response frame. It returns nil on clean EOF.
+// execute each seed, stream one response frame per seed. It returns nil on
+// clean EOF.
 //
 // If the REPRO_CHAOS environment variable is set (the parent Shard
 // exports its -chaos schedule there), the worker misbehaves on the
 // configured schedule — the fault-injection half of the supervision
-// layer. A malformed schedule is a startup error.
+// layer. Chaos triggers count executed seeds, not request frames, so a
+// schedule keeps its meaning whatever the chunk size. A malformed
+// schedule is a startup error.
 //
 // Nothing but protocol frames may be written to w — a worker whose
 // experiments print to stdout would corrupt the stream — which holds
@@ -69,51 +54,83 @@ func serveWorker(r io.Reader, w io.Writer, chaos Chaos, extra ...Spec) error {
 	byName := specIndex(extra)
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
-	for n := 1; ; n++ {
-		var req workerRequest
-		if err := readFrame(br, &req); err != nil {
+	var fs frameScratch
+	if _, err := bw.Write(fs.helloFrame()); err != nil {
+		return fmt.Errorf("worker: write hello: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("worker: write hello: %w", err)
+	}
+	var inbuf []byte
+	var seeds []int64
+	n := 0 // executed-seed counter: the chaos schedule's clock
+	for {
+		payload, err := readRawFrame(br, &inbuf)
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return fmt.Errorf("worker: read request: %w", err)
 		}
-		// Pre-response faults: the parent sees a dead process or a request
-		// that never completes.
-		if chaos.DelayEvery > 0 && n%chaos.DelayEvery == 0 {
-			time.Sleep(chaos.Delay)
+		req, err := parseWireRequest(payload, seeds[:0])
+		if err != nil {
+			return fmt.Errorf("worker: read request: %w", err)
 		}
-		if chaos.CrashAfter > 0 && n == chaos.CrashAfter {
-			fmt.Fprintf(os.Stderr, "chaos: crashing on request %d\n", n)
-			os.Exit(3)
+		seeds = req.seeds
+		spec, ok := byName[string(req.spec)]
+		if !ok {
+			spec, ok = Lookup(string(req.spec))
 		}
-		if chaos.HangAfter > 0 && n == chaos.HangAfter {
-			fmt.Fprintf(os.Stderr, "chaos: hanging on request %d\n", n)
-			time.Sleep(chaos.HangFor)
-		}
-		resp := handleRequest(req, byName)
-		// Response-stream faults: the parent's decoder, not its process
-		// watcher, must catch these.
-		if chaos.TruncateAfter > 0 && n == chaos.TruncateAfter {
-			fmt.Fprintf(os.Stderr, "chaos: truncating response %d\n", n)
-			writeTruncatedFrame(bw)
-			bw.Flush()
-			os.Exit(3)
-		}
-		if chaos.CorruptAfter > 0 && n == chaos.CorruptAfter {
-			fmt.Fprintf(os.Stderr, "chaos: corrupting response %d\n", n)
-			if err := writeCorruptFrame(bw); err != nil {
+		for _, seed := range req.seeds {
+			n++
+			// Pre-response faults: the parent sees a dead process or a seed
+			// that never completes.
+			if chaos.DelayEvery > 0 && n%chaos.DelayEvery == 0 {
+				time.Sleep(chaos.Delay)
+			}
+			if chaos.CrashAfter > 0 && n == chaos.CrashAfter {
+				fmt.Fprintf(os.Stderr, "chaos: crashing on seed %d\n", n)
+				os.Exit(3)
+			}
+			if chaos.HangAfter > 0 && n == chaos.HangAfter {
+				fmt.Fprintf(os.Stderr, "chaos: hanging on seed %d\n", n)
+				time.Sleep(chaos.HangFor)
+			}
+			var frame []byte
+			if !ok {
+				frame = fs.errorFrame(req.spec, seed, req.epoch, fmt.Sprintf("unknown experiment %q", req.spec))
+			} else if res, err := executeSafe(spec, seed); err != nil {
+				frame = fs.errorFrame(req.spec, seed, req.epoch, err.Error())
+			} else {
+				frame = fs.resultFrame(req.spec, seed, req.epoch, res)
+			}
+			// Response-stream faults: the parent's decoder, not its process
+			// watcher, must catch these.
+			if chaos.TruncateAfter > 0 && n == chaos.TruncateAfter {
+				fmt.Fprintf(os.Stderr, "chaos: truncating response %d\n", n)
+				writeTruncatedFrame(bw)
+				bw.Flush()
+				os.Exit(3)
+			}
+			if chaos.CorruptAfter > 0 && n == chaos.CorruptAfter {
+				fmt.Fprintf(os.Stderr, "chaos: corrupting response %d\n", n)
+				if err := writeCorruptFrame(bw); err != nil {
+					return fmt.Errorf("worker: write response: %w", err)
+				}
+				if err := bw.Flush(); err != nil {
+					return fmt.Errorf("worker: write response: %w", err)
+				}
+				continue
+			}
+			if _, err := bw.Write(frame); err != nil {
 				return fmt.Errorf("worker: write response: %w", err)
 			}
+			// Flush per frame, not per chunk: the parent's per-frame read
+			// deadline times the gap between responses, so a buffered chunk
+			// behind one slow seed must not look like a hung worker.
 			if err := bw.Flush(); err != nil {
 				return fmt.Errorf("worker: write response: %w", err)
 			}
-			continue
-		}
-		if err := writeFrame(bw, resp); err != nil {
-			return fmt.Errorf("worker: write response: %w", err)
-		}
-		if err := bw.Flush(); err != nil {
-			return fmt.Errorf("worker: write response: %w", err)
 		}
 	}
 }
@@ -129,10 +146,10 @@ func writeTruncatedFrame(w io.Writer) {
 }
 
 // writeCorruptFrame writes a well-framed payload that is not a protocol
-// message, so the parent's JSON decode fails while the stream framing
-// stays intact.
+// message ('c' is no frame type), so the parent's message parse fails with
+// ErrDecode while the stream framing stays intact.
 func writeCorruptFrame(w io.Writer) error {
-	payload := []byte("chaos! not json {{{")
+	payload := []byte("chaos! not a frame {{{")
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -140,29 +157,6 @@ func writeCorruptFrame(w io.Writer) error {
 	}
 	_, err := w.Write(payload)
 	return err
-}
-
-// handleRequest resolves and executes one request, echoing its (spec,
-// seed, epoch) identity so the requester can match — and stale-check —
-// the response. Shared by the stdio worker loop and TCP sessions.
-func handleRequest(req workerRequest, byName map[string]Spec) workerResponse {
-	resp := workerResponse{Spec: req.Spec, Seed: req.Seed, Epoch: req.Epoch}
-	spec, ok := byName[req.Spec]
-	if !ok {
-		spec, ok = Lookup(req.Spec)
-	}
-	if !ok {
-		resp.Err = fmt.Sprintf("unknown experiment %q", req.Spec)
-		return resp
-	}
-	res, err := executeSafe(spec, req.Seed)
-	if err == nil {
-		resp.Result, err = EncodeResult(res)
-	}
-	if err != nil {
-		resp.Err = err.Error()
-	}
-	return resp
 }
 
 // specIndex builds the extra-spec precedence map worker loops resolve
