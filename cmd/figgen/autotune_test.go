@@ -1,0 +1,329 @@
+package main
+
+import (
+	"bytes"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// tuneTestSpec is a tiny tunable scenario: a burst of timers across the
+// wheel span whose result is (deterministically) the number fired. Fast
+// enough that a full grid search runs in test time.
+func tuneTestSpec(name string) scenario.Spec {
+	return scenario.Spec{
+		Name: name, Desc: "autotune test spec", Tags: []string{"test"},
+		RunTuned: func(seed int64, tun sim.Tuning) scenario.Result {
+			s := sim.NewTuned(seed, tun)
+			fired := 0
+			for i := 0; i < 200; i++ {
+				d := sim.Time(s.Rand().Intn(1 << 14))
+				s.Schedule(d, func() { fired++ })
+			}
+			s.Run()
+			return scenario.Result{
+				Name:   name,
+				Table:  "fired",
+				Values: map[string]float64{"fired": float64(fired)},
+			}
+		},
+	}
+}
+
+func TestAutotuneEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_macro.json")
+	pin := filepath.Join(dir, "tunings_gen.go")
+	pinned := sim.Tuning{TickShift: 3, WheelBits: 4, CompactMinDead: 8, WheelMinPending: 2}
+	spec := tuneTestSpec("tunetest")
+	spec.Tuning = &pinned
+
+	var buf bytes.Buffer
+	err := runAutotune(&buf, []scenario.Spec{spec}, autotuneOptions{
+		out: out, pin: pin, rounds: 1, budget: 8, label: "test", seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("runAutotune: %v\n%s", err, buf.String())
+	}
+
+	// The trace entry must be valid macro-suite JSON carrying the default
+	// tuning, the spec's pin, and a winner summary.
+	doc, err := loadBenchFile(out, "macro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Entries) != 1 || doc.Entries[0].Label != "autotune-test" {
+		t.Fatalf("unexpected entries: %+v", doc.Entries)
+	}
+	e := doc.Entries[0]
+	if len(e.Benchmarks) != 8 {
+		t.Errorf("trace has %d points, want the full budget of 8", len(e.Benchmarks))
+	}
+	names := map[string]bool{}
+	for _, b := range e.Benchmarks {
+		if !strings.HasPrefix(b.Name, "tunetest/") || b.NsPerOp <= 0 {
+			t.Errorf("malformed trace point %+v", b)
+		}
+		names[b.Name] = true
+	}
+	if !names["tunetest/"+sim.DefaultTuning().Key()] {
+		t.Error("trace missing the default tuning (the speedup baseline)")
+	}
+	if !names["tunetest/"+pinned.Key()] {
+		t.Error("trace missing the spec's pinned tuning (the re-validation point)")
+	}
+	if len(e.Autotune) != 1 || e.Autotune[0].Spec != "tunetest" ||
+		e.Autotune[0].Measured != 8 || e.Autotune[0].DefaultNs <= 0 {
+		t.Errorf("malformed winner summary: %+v", e.Autotune)
+	}
+	if _, err := sim.ParseTuningKey(e.Autotune[0].Tuning); err != nil {
+		t.Errorf("winner key does not parse: %v", err)
+	}
+
+	// The pin table must be parseable Go pinning the winner.
+	src, err := os.ReadFile(pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parser.ParseFile(token.NewFileSet(), pin, src, 0); err != nil {
+		t.Fatalf("pin table does not parse: %v\n%s", err, src)
+	}
+	for _, want := range []string{"package exp", "autotunedTunings", `"tunetest":`, "Code generated"} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("pin table missing %q:\n%s", want, src)
+		}
+	}
+
+	// Winner summary table and byte-identity confirmation in the output.
+	for _, want := range []string{"autotune winners", "output byte-identical", "wrote pin table"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestAutotuneUpsertsTraceEntry(t *testing.T) {
+	// Re-running a search replaces its own entry and leaves baselines alone.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_macro.json")
+	base := benchFile{Suite: "macro", Entries: []benchEntry{
+		{Label: "pr3-after", Benchmarks: []benchResult{{Name: "e3", NsPerOp: 1}}},
+	}}
+	if err := writeBenchFile(out, base); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	o := autotuneOptions{out: out, rounds: 1, budget: 2, label: "test", seed: 1}
+	for i := 0; i < 2; i++ {
+		if err := runAutotune(&buf, []scenario.Spec{tuneTestSpec("tunetest")}, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc, err := loadBenchFile(out, "macro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Entries) != 2 || doc.Entries[0].Label != "pr3-after" || doc.Entries[1].Label != "autotune-test" {
+		t.Fatalf("unexpected entries after re-run: %+v", doc.Entries)
+	}
+}
+
+func TestAutotuneDetectsOrderVisibleTuning(t *testing.T) {
+	// A spec whose output depends on the tuning is a kernel ordering bug;
+	// the harness must refuse to pin it.
+	bad := scenario.Spec{
+		Name: "badspec", Desc: "tuning leaks into output", Tags: []string{"test"},
+		RunTuned: func(seed int64, tun sim.Tuning) scenario.Result {
+			return scenario.Result{Name: "bad", Table: tun.Key(),
+				Values: map[string]float64{"x": 1}}
+		},
+	}
+	var buf bytes.Buffer
+	err := runAutotune(&buf, []scenario.Spec{bad}, autotuneOptions{
+		out: filepath.Join(t.TempDir(), "m.json"), rounds: 1, budget: 4, label: "test", seed: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "changed the experiment output") {
+		t.Fatalf("order-visible tuning not detected, err = %v", err)
+	}
+}
+
+func TestAutotuneRequiresTunableSpec(t *testing.T) {
+	plain := scenario.Spec{Name: "plain", Desc: "d", Tags: []string{"t"},
+		Run: func(seed int64) scenario.Result {
+			return scenario.Result{Name: "plain", Values: map[string]float64{"x": 1}}
+		}}
+	var buf bytes.Buffer
+	err := runAutotune(&buf, []scenario.Spec{plain}, autotuneOptions{
+		out: filepath.Join(t.TempDir(), "m.json"), rounds: 1, budget: 4, label: "t", seed: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "RunTuned") {
+		t.Fatalf("want no-tunable-spec error, got %v", err)
+	}
+}
+
+func TestAutotuneModeGuards(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, options{autotunePin: "x.go"}); err == nil ||
+		!strings.Contains(err.Error(), "-autotune") {
+		t.Error("-autotune-pin without -autotune should error")
+	}
+	if err := run(&buf, options{autotune: "m.json", benchJSON: "k.json"}); err == nil ||
+		!strings.Contains(err.Error(), "separate modes") {
+		t.Error("-autotune with a bench suite should error")
+	}
+	if err := run(&buf, options{trend: true, names: []string{"e3"}}); err == nil ||
+		!strings.Contains(err.Error(), "-trend") {
+		t.Error("-trend with a selection should error")
+	}
+}
+
+func TestTuningFlagOverrideIsOutputInvisible(t *testing.T) {
+	// -tuning forces a kernel tuning onto every tunable spec; because
+	// tunings are order-invisible the rendered output must not move by a
+	// byte. This is the assertion the CI autotune smoke job makes through
+	// the real binary.
+	base := options{rf: cli.RunFlags{Seed: 1, SeedsN: 1, Parallel: 1}, pattern: "e3"}
+	var def, tuned bytes.Buffer
+	if err := run(&def, base); err != nil {
+		t.Fatal(err)
+	}
+	base.rf.Tuning = "ts8-wb10-cd64-wmp0"
+	if err := run(&tuned, base); err != nil {
+		t.Fatal(err)
+	}
+	if def.String() != tuned.String() {
+		t.Error("-tuning changed experiment output")
+	}
+	base.rf.Tuning = "not-a-key"
+	if err := run(&tuned, base); err == nil {
+		t.Error("invalid -tuning key should error")
+	}
+}
+
+func TestTrendTableIntersection(t *testing.T) {
+	doc := benchFile{Suite: "macro", Entries: []benchEntry{
+		{Label: "pr3-after", Date: "2026-01-01", Benchmarks: []benchResult{
+			{Name: "e3", NsPerOp: 100}, {Name: "e4", NsPerOp: 100},
+		}},
+		{Label: "pr6-after", Date: "2026-02-01", Benchmarks: []benchResult{
+			{Name: "e3", NsPerOp: 50}, {Name: "e4", NsPerOp: 200},
+			{Name: "e18", NsPerOp: 100}, // new since pr6: must not skew
+		}},
+		{Label: "autotune-x", Benchmarks: []benchResult{
+			{Name: "e3/ts0-wb10-cd64-wmp16", NsPerOp: 1}, // search trace: excluded
+		}},
+	}}
+	var buf bytes.Buffer
+	trendTable(&buf, "macro", doc)
+	out := buf.String()
+	// Geomean over the intersection {e3, e4}: sqrt(0.5 × 2) = 1.000.
+	if !strings.Contains(out, "×1.000") {
+		t.Errorf("intersection geomean wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "dropped") || !strings.Contains(out, "e18") {
+		t.Errorf("missing dropped-benchmark warning naming e18:\n%s", out)
+	}
+	if strings.Contains(out, "autotune-x") {
+		t.Errorf("search-trace entry leaked into the trajectory:\n%s", out)
+	}
+}
+
+func TestCrossSuiteTrendOrdersLabels(t *testing.T) {
+	mk := func(suite string, labels ...string) benchFile {
+		f := benchFile{Suite: suite}
+		for _, l := range labels {
+			f.Entries = append(f.Entries, benchEntry{
+				Label:      l,
+				Benchmarks: []benchResult{{Name: "b", NsPerOp: 100}},
+			})
+		}
+		return f
+	}
+	var buf bytes.Buffer
+	crossSuiteTrend(&buf, []benchFile{
+		mk("sim-kernel", "pr2-before", "pr2-after", "pr10-after"),
+		mk("macro", "pr3-before", "pr10-after"),
+		mk("fabric", "pr9-before", "pr9-after", "pr10-after"),
+	})
+	out := buf.String()
+	// Canonical order, numeric: pr2 < pr3 < pr9 < pr10 (not lexical).
+	order := []string{"pr2-before", "pr2-after", "pr3-before", "pr9-before", "pr9-after", "pr10-after"}
+	last := -1
+	for _, l := range order {
+		i := strings.Index(out, l+" ")
+		if i < 0 {
+			i = strings.Index(out, l)
+		}
+		if i < 0 {
+			t.Fatalf("missing label %s:\n%s", l, out)
+		}
+		if i < last {
+			t.Errorf("label %s out of order:\n%s", l, out)
+		}
+		last = i
+	}
+	// A suite without the label shows a dash, not a fabricated number.
+	if !strings.Contains(out, "—") {
+		t.Errorf("missing dash for absent labels:\n%s", out)
+	}
+}
+
+func TestLabelRank(t *testing.T) {
+	for _, c := range []struct {
+		label string
+		rank  int
+		ok    bool
+	}{
+		{"pr2-before", 4, true},
+		{"pr2-after", 5, true},
+		{"pr10-before", 20, true},
+		{"dev", 0, false},
+		{"autotune-pr10", 0, false},
+		{"pr3-nope", 0, false},
+	} {
+		r, ok := labelRank(c.label)
+		if ok != c.ok || (ok && r != c.rank) {
+			t.Errorf("labelRank(%q) = %d, %v; want %d, %v", c.label, r, ok, c.rank, c.ok)
+		}
+	}
+}
+
+func TestRunTrendReadsCommittedFiles(t *testing.T) {
+	dir := t.TempDir()
+	kernel := filepath.Join(dir, "k.json")
+	macro := filepath.Join(dir, "m.json")
+	if err := writeBenchFile(kernel, benchFile{Suite: "sim-kernel", Entries: []benchEntry{
+		{Label: "pr2-after", Benchmarks: []benchResult{{Name: "K", NsPerOp: 100}}},
+		{Label: "pr3-after", Benchmarks: []benchResult{{Name: "K", NsPerOp: 50}}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBenchFile(macro, benchFile{Suite: "macro", Entries: []benchEntry{
+		{Label: "pr3-after", Benchmarks: []benchResult{{Name: "e3", NsPerOp: 100}}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := runTrend(&buf, options{benchJSON: kernel, macroJSON: macro,
+		fabricJSON: filepath.Join(dir, "missing.json")})
+	if err != nil {
+		t.Fatalf("runTrend: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sim-kernel perf trajectory") || !strings.Contains(out, "×0.500") {
+		t.Errorf("missing kernel trajectory:\n%s", out)
+	}
+	if !strings.Contains(out, "fabric suite: no") {
+		t.Errorf("missing-file note absent:\n%s", out)
+	}
+	if !strings.Contains(out, "cross-suite perf trajectory") {
+		t.Errorf("missing cross-suite table:\n%s", out)
+	}
+}

@@ -28,6 +28,8 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -42,12 +44,17 @@ type benchFile struct {
 	Entries []benchEntry `json:"entries"`
 }
 
-// benchEntry is one labelled run of the suite.
+// benchEntry is one labelled run of the suite. Entries labelled
+// "autotune-<label>" are search traces from figgen -autotune rather than
+// suite baselines: their Benchmarks are the measured (spec, tuning)
+// points and Autotune summarizes the winners; trend reporting and gating
+// skip them.
 type benchEntry struct {
-	Label      string        `json:"label"`
-	Go         string        `json:"go"`
-	Date       string        `json:"date"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	Label      string           `json:"label"`
+	Go         string           `json:"go"`
+	Date       string           `json:"date"`
+	Benchmarks []benchResult    `json:"benchmarks"`
+	Autotune   []autotuneWinner `json:"autotune,omitempty"`
 }
 
 // benchResult is one benchmark's outcome in go-test units.
@@ -192,28 +199,78 @@ func runBenchJSON(w io.Writer, path, suite, label, gateLabel string, seed int64)
 	return gateErr
 }
 
+// trendEntries filters a trajectory file down to its suite baselines,
+// dropping the autotune-* search traces.
+func trendEntries(doc benchFile) []benchEntry {
+	out := make([]benchEntry, 0, len(doc.Entries))
+	for _, e := range doc.Entries {
+		if strings.HasPrefix(e.Label, "autotune-") {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// commonBenchmarks returns the sorted benchmark names present (with a
+// positive ns/op) in every entry, and the sorted names that appear
+// somewhere but not everywhere — the ones a trajectory over the common
+// set necessarily drops.
+func commonBenchmarks(entries []benchEntry) (common map[string]bool, dropped []string) {
+	counts := map[string]int{}
+	for _, e := range entries {
+		for _, b := range e.Benchmarks {
+			if b.NsPerOp > 0 {
+				counts[b.Name]++
+			}
+		}
+	}
+	common = map[string]bool{}
+	for name, n := range counts {
+		if n == len(entries) {
+			common[name] = true
+		} else {
+			dropped = append(dropped, name)
+		}
+	}
+	sort.Strings(dropped)
+	return common, dropped
+}
+
 // trendTable places every committed baseline — and the run just recorded —
 // on the suite's perf trajectory (pr2 → pr3 → pr4 → …): per entry, the
 // ns/op geometric-mean ratio against the previous entry and against the
-// first, over the benchmarks each pair shares. The gate enforces only the
-// chosen baseline; the trajectory shows whether a PR's "within gate" is a
-// plateau or a slow slide. Entries usually come from different machines, so
-// the ratios read as trends, not measurements.
+// first. Ratios are computed over the benchmarks present in *every* entry,
+// so a suite that grew along the way (MetroDense only exists from pr6 on)
+// compares like against like at every step; benchmarks outside the common
+// set are named in a warning instead of silently skewing the curve. The
+// gate enforces only the chosen baseline; the trajectory shows whether a
+// PR's "within gate" is a plateau or a slow slide. Entries usually come
+// from different machines, so the ratios read as trends, not measurements.
 func trendTable(w io.Writer, suite string, doc benchFile) {
-	entries := doc.Entries
+	entries := trendEntries(doc)
 	if len(entries) < 2 {
 		return
 	}
-	t := stats.NewTable(fmt.Sprintf("%s perf trajectory", suite),
+	common, dropped := commonBenchmarks(entries)
+	if len(dropped) > 0 {
+		fmt.Fprintf(w, "trend %s: geomeans cover the %d benchmarks shared by all %d entries; not in every entry (dropped): %s\n",
+			suite, len(common), len(entries), strings.Join(dropped, ", "))
+	}
+	if len(common) == 0 {
+		fmt.Fprintf(w, "trend %s: no benchmark appears in every entry; no trajectory to report\n", suite)
+		return
+	}
+	t := stats.NewTable(fmt.Sprintf("%s perf trajectory (%d common benchmarks)", suite, len(common)),
 		"entry", "date", "benchmarks", "vs prev", "vs first")
 	for i, e := range entries {
 		vsPrev, vsFirst := "—", "—"
 		if i > 0 {
-			if g, n := geomeanRatio(entries[i-1].Benchmarks, e.Benchmarks); n > 0 {
-				vsPrev = fmt.Sprintf("×%.3f (%d shared)", g, n)
+			if g, n := geomeanOver(entries[i-1].Benchmarks, e.Benchmarks, common); n > 0 {
+				vsPrev = fmt.Sprintf("×%.3f", g)
 			}
-			if g, n := geomeanRatio(entries[0].Benchmarks, e.Benchmarks); n > 0 {
-				vsFirst = fmt.Sprintf("×%.3f (%d shared)", g, n)
+			if g, n := geomeanOver(entries[0].Benchmarks, e.Benchmarks, common); n > 0 {
+				vsFirst = fmt.Sprintf("×%.3f", g)
 			}
 		}
 		t.AddRow(e.Label, e.Date, fmt.Sprintf("%d", len(e.Benchmarks)), vsPrev, vsFirst)
@@ -221,12 +278,13 @@ func trendTable(w io.Writer, suite string, doc benchFile) {
 	fmt.Fprintln(w, t)
 }
 
-// geomeanRatio returns the geometric mean of cur/base ns/op ratios over the
-// benchmarks present in both, and how many were shared.
-func geomeanRatio(base, cur []benchResult) (float64, int) {
+// geomeanOver returns the geometric mean of cur/base ns/op ratios over the
+// named benchmarks (all benchmarks when names is nil), and how many
+// contributed.
+func geomeanOver(base, cur []benchResult, names map[string]bool) (float64, int) {
 	m := make(map[string]float64, len(base))
 	for _, b := range base {
-		if b.NsPerOp > 0 {
+		if b.NsPerOp > 0 && (names == nil || names[b.Name]) {
 			m[b.Name] = b.NsPerOp
 		}
 	}
@@ -242,6 +300,115 @@ func geomeanRatio(base, cur []benchResult) (float64, int) {
 		return 0, 0
 	}
 	return math.Exp(sumLog / float64(n)), n
+}
+
+// runTrend prints the perf trajectories of all three committed suites —
+// kernel, macro and fabric — from their trajectory files, then the
+// cross-suite summary placing every baseline label on every suite's
+// curve. It is figgen -trend: read-only reporting, no benchmarks run, so
+// CI can put the full trajectory in the job summary for free.
+func runTrend(w io.Writer, o options) error {
+	files := []struct{ suite, path, fallback string }{
+		{"sim-kernel", o.benchJSON, "BENCH_kernel.json"},
+		{"macro", o.macroJSON, "BENCH_macro.json"},
+		{"fabric", o.fabricJSON, "BENCH_fabric.json"},
+	}
+	var docs []benchFile
+	for _, f := range files {
+		path := f.path
+		if path == "" {
+			path = f.fallback
+		}
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			fmt.Fprintf(w, "trend: %s suite: no %s; skipping\n", f.suite, path)
+			continue
+		}
+		doc, err := loadBenchFile(path, f.suite)
+		if err != nil {
+			return err
+		}
+		trendTable(w, f.suite, doc)
+		docs = append(docs, doc)
+	}
+	if len(docs) == 0 {
+		return fmt.Errorf("trend: no trajectory files found (run the bench suites first, or pass -benchjson/-macrojson/-fabricjson paths)")
+	}
+	crossSuiteTrend(w, docs)
+	return nil
+}
+
+// crossSuiteTrend prints one table spanning every suite: rows are the
+// union of baseline labels in canonical order (pr2-before, pr2-after,
+// pr3-before, …), columns are the suites, cells are each entry's
+// vs-first geomean over that suite's common benchmark set. A dash means
+// the suite has no entry under that label — the fabric suite only exists
+// from pr9 on, which is exactly the kind of gap this table makes visible
+// instead of hiding.
+func crossSuiteTrend(w io.Writer, docs []benchFile) {
+	header := []string{"entry"}
+	vsFirst := make([]map[string]string, len(docs))
+	labelSet := map[string]bool{}
+	for i, doc := range docs {
+		header = append(header, doc.Suite)
+		vsFirst[i] = map[string]string{}
+		entries := trendEntries(doc)
+		if len(entries) == 0 {
+			continue
+		}
+		common, _ := commonBenchmarks(entries)
+		for _, e := range entries {
+			labelSet[e.Label] = true
+			if g, n := geomeanOver(entries[0].Benchmarks, e.Benchmarks, common); n > 0 {
+				vsFirst[i][e.Label] = fmt.Sprintf("×%.3f", g)
+			}
+		}
+	}
+	labels := make([]string, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		ri, oki := labelRank(labels[i])
+		rj, okj := labelRank(labels[j])
+		if oki != okj {
+			return oki // parseable pr labels first, ad-hoc labels last
+		}
+		if oki && ri != rj {
+			return ri < rj
+		}
+		return labels[i] < labels[j]
+	})
+	t := stats.NewTable("cross-suite perf trajectory (geomean vs each suite's first entry)", header...)
+	for _, l := range labels {
+		row := []string{l}
+		for i := range docs {
+			cell, ok := vsFirst[i][l]
+			if !ok {
+				cell = "—"
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	fmt.Fprintln(w, t)
+}
+
+// labelRank maps a canonical baseline label ("pr<N>-before" /
+// "pr<N>-after") onto its trajectory position; ok is false for ad-hoc
+// labels, which sort after all canonical ones.
+func labelRank(label string) (rank int, ok bool) {
+	var n int
+	var phase string
+	if _, err := fmt.Sscanf(label, "pr%d-%s", &n, &phase); err != nil {
+		return 0, false
+	}
+	switch phase {
+	case "before":
+		return 2 * n, true
+	case "after":
+		return 2*n + 1, true
+	}
+	return 0, false
 }
 
 // gate enforces the kernel perf contract for a fresh suite run: zero

@@ -173,10 +173,10 @@ func adHocProfile(bitRate float64) *radio.Profile {
 			radio.RX:    0.90,
 			radio.TX:    1.20,
 		},
-		Transitions: map[[2]radio.State]radio.Transition{
+		Transitions: radio.MakeTransitions(map[[2]radio.State]radio.Transition{
 			{radio.Sleep, radio.Idle}: {Latency: 800 * sim.Microsecond, Energy: 0.0005},
 			{radio.Idle, radio.Sleep}: {Latency: 400 * sim.Microsecond, Energy: 0.0002},
-		},
+		}),
 		BitRate:          bitRate,
 		Goodput:          bitRate * 0.8,
 		PerBurstOverhead: sim.Millisecond,

@@ -63,6 +63,24 @@ type Transition struct {
 	Energy  float64  // joules consumed by the transition itself
 }
 
+// TransitionTable holds the cost of every (from, to) state change as a
+// dense array indexed by the two states. The zero value — every entry
+// instantaneous and free — is a valid table. A dense array instead of a
+// map keeps TransitionCost a two-index load: the lookup sits on the
+// per-station beacon path of the metro experiments (millions of calls per
+// run), where hashing a 16-byte map key was ~30% of the whole simulation.
+type TransitionTable [numStates][numStates]Transition
+
+// MakeTransitions builds a TransitionTable from the sparse map form, for
+// callers that want to list only the transitions with nonzero cost.
+func MakeTransitions(m map[[2]State]Transition) TransitionTable {
+	var t TransitionTable
+	for k, tr := range m {
+		t[k[0]][k[1]] = tr
+	}
+	return t
+}
+
 // Profile is the calibration data for one WNIC technology: state power draw,
 // transition costs and link-speed characteristics.
 type Profile struct {
@@ -71,9 +89,9 @@ type Profile struct {
 	// Power holds the draw of each state in watts.
 	Power [numStates]float64
 
-	// Transitions holds the cost of each (from, to) state change. Absent
-	// entries are instantaneous and free.
-	Transitions map[[2]State]Transition
+	// Transitions holds the cost of each (from, to) state change. Entries
+	// left zero are instantaneous and free.
+	Transitions TransitionTable
 
 	// BitRate is the nominal PHY rate in bits/second.
 	BitRate float64
@@ -95,10 +113,7 @@ type Profile struct {
 // TransitionCost returns the latency/energy to move between two states.
 // Unlisted transitions are instantaneous and free.
 func (p *Profile) TransitionCost(from, to State) Transition {
-	if t, ok := p.Transitions[[2]State{from, to}]; ok {
-		return t
-	}
-	return Transition{}
+	return p.Transitions[from][to]
 }
 
 // TxTime returns the time to transmit n bytes at the nominal PHY rate.
@@ -134,9 +149,12 @@ func (p *Profile) Validate() error {
 	if p.Power[Sleep] > p.Power[Idle] {
 		return fmt.Errorf("radio: profile %s: sleep draws more than idle", p.Name)
 	}
-	for k, t := range p.Transitions {
-		if t.Latency < 0 || t.Energy < 0 {
-			return fmt.Errorf("radio: profile %s: negative transition cost %v->%v", p.Name, k[0], k[1])
+	for from := range p.Transitions {
+		for to, t := range p.Transitions[from] {
+			if t.Latency < 0 || t.Energy < 0 {
+				return fmt.Errorf("radio: profile %s: negative transition cost %v->%v",
+					p.Name, State(from), State(to))
+			}
 		}
 	}
 	return nil
@@ -157,12 +175,12 @@ func WLAN80211b() *Profile {
 			RX:    1.40,
 			TX:    1.65,
 		},
-		Transitions: map[[2]State]Transition{
+		Transitions: MakeTransitions(map[[2]State]Transition{
 			{Off, Idle}:   {Latency: 100 * sim.Millisecond, Energy: 0.135}, // power-up + re-associate
 			{Idle, Off}:   {Latency: 10 * sim.Millisecond, Energy: 0.005},
 			{Sleep, Idle}: {Latency: 2 * sim.Millisecond, Energy: 0.002},
 			{Idle, Sleep}: {Latency: 1 * sim.Millisecond, Energy: 0.001},
-		},
+		}),
 		BitRate:          11e6,
 		Goodput:          5.8e6, // MAC+TCP efficiency of 802.11b bulk transfer
 		PerBurstOverhead: 8 * sim.Millisecond,
@@ -183,12 +201,12 @@ func Bluetooth() *Profile {
 			RX:    0.425,
 			TX:    0.465,
 		},
-		Transitions: map[[2]State]Transition{
+		Transitions: MakeTransitions(map[[2]State]Transition{
 			{Off, Idle}:   {Latency: 2 * sim.Second, Energy: 0.6}, // inquiry+page: why BT uses park, not off
 			{Idle, Off}:   {Latency: 5 * sim.Millisecond, Energy: 0.001},
 			{Sleep, Idle}: {Latency: 20 * sim.Millisecond, Energy: 0.004},
 			{Idle, Sleep}: {Latency: 10 * sim.Millisecond, Energy: 0.002},
-		},
+		}),
 		BitRate:          723.2e3,
 		Goodput:          560e3,
 		PerBurstOverhead: 25 * sim.Millisecond,

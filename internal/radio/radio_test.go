@@ -26,7 +26,7 @@ func TestProfileValidateCatchesErrors(t *testing.T) {
 		func(p *Profile) { p.Power[Off] = 0.5 },
 		func(p *Profile) { p.Power[Sleep] = p.Power[Idle] + 1 },
 		func(p *Profile) {
-			p.Transitions[[2]State{Off, Idle}] = Transition{Latency: -1}
+			p.Transitions[Off][Idle] = Transition{Latency: -1}
 		},
 	}
 	for i, mutate := range cases {

@@ -1,0 +1,147 @@
+package sim
+
+// Tuning enumeration and naming for the autotune harness (figgen
+// -autotune). The search space is the cross product of the kernel's
+// performance knobs; every point produces the identical event order (pop
+// order is enforced against all queue structures), so a search harness is
+// free to measure any of them against any workload and pin the winner
+// without re-validating a single output bit.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Key returns the canonical compact label of a tuning, e.g.
+// "ts0-wb10-cd64-wmp16", with adaptive routing spelled "wmpA". Keys
+// round-trip through ParseTuningKey; they are the identifiers the autotune
+// harness records in BENCH_macro.json and the -tuning flag accepts.
+func (t Tuning) Key() string {
+	wmp := strconv.Itoa(t.WheelMinPending)
+	if t.WheelMinPending == WheelAdaptive {
+		wmp = "A"
+	}
+	return fmt.Sprintf("ts%d-wb%d-cd%d-wmp%s", t.TickShift, t.WheelBits, t.CompactMinDead, wmp)
+}
+
+// ParseTuningKey parses a Key back into a validated Tuning. The spelling
+// "default" resolves to DefaultTuning.
+func ParseTuningKey(s string) (Tuning, error) {
+	if s == "default" {
+		return DefaultTuning(), nil
+	}
+	var t Tuning
+	bad := func() (Tuning, error) {
+		return Tuning{}, fmt.Errorf("sim: tuning key %q: want ts<n>-wb<n>-cd<n>-wmp<n|A> or \"default\"", s)
+	}
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 {
+		return bad()
+	}
+	for i, prefix := range []string{"ts", "wb", "cd", "wmp"} {
+		v, ok := strings.CutPrefix(parts[i], prefix)
+		if !ok {
+			return bad()
+		}
+		if prefix == "wmp" && v == "A" {
+			t.WheelMinPending = WheelAdaptive
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return bad()
+		}
+		switch prefix {
+		case "ts":
+			t.TickShift = uint(n)
+		case "wb":
+			t.WheelBits = uint(n)
+		case "cd":
+			t.CompactMinDead = n
+		case "wmp":
+			t.WheelMinPending = n
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return Tuning{}, err
+	}
+	return t, nil
+}
+
+// TuningGrid returns the autotune search's seeded coarse grid: the
+// default tuning first, then the cross product of tick granularities
+// (exact 1 µs up to 256 µs buckets), wheel sizes (cache-tight up to
+// second-scale span) and routing thresholds (always-wheel, low and
+// default fixed thresholds, and the adaptive mode). The grid brackets
+// every regime the committed workloads have hit — dense MAC contention,
+// aggregated metro beacons, sparse second-scale process events — and
+// hill-climbing from its best point (Neighbors) refines between the
+// lattice lines.
+func TuningGrid() []Tuning {
+	def := DefaultTuning()
+	grid := []Tuning{def}
+	for _, ts := range []uint{0, 4, 8} {
+		for _, wb := range []uint{8, 10, 14} {
+			for _, wmp := range []int{0, 4, 16, WheelAdaptive} {
+				t := Tuning{TickShift: ts, WheelBits: wb, CompactMinDead: def.CompactMinDead, WheelMinPending: wmp}
+				if t != def {
+					grid = append(grid, t)
+				}
+			}
+		}
+	}
+	return grid
+}
+
+// Neighbors returns the hill-climb moves from t: each knob stepped one
+// notch in each direction (shift/bits ±2, the count knobs halved and
+// doubled, adaptive routing toggled). Every returned tuning validates;
+// moves that would leave the representable range are omitted.
+func (t Tuning) Neighbors() []Tuning {
+	var out []Tuning
+	add := func(n Tuning) {
+		if n != t && n.Validate() == nil {
+			out = append(out, n)
+		}
+	}
+	for _, d := range []int{-2, 2} {
+		if ts := int(t.TickShift) + d; ts >= 0 {
+			n := t
+			n.TickShift = uint(ts)
+			add(n)
+		}
+	}
+	for _, d := range []int{-2, 2} {
+		if wb := int(t.WheelBits) + d; wb >= 1 {
+			n := t
+			n.WheelBits = uint(wb)
+			add(n)
+		}
+	}
+	for _, cd := range []int{t.CompactMinDead / 2, t.CompactMinDead * 2} {
+		if cd >= 1 {
+			n := t
+			n.CompactMinDead = cd
+			add(n)
+		}
+	}
+	if t.WheelMinPending == WheelAdaptive {
+		// The adaptive mode's only neighbor is the fixed threshold it
+		// adapts around.
+		n := t
+		n.WheelMinPending = DefaultTuning().WheelMinPending
+		add(n)
+		return out
+	}
+	down, up := t.WheelMinPending/2, t.WheelMinPending*2
+	if t.WheelMinPending == 0 {
+		down, up = 0, 2 // 0 halves to itself; restart the ladder at 2
+	}
+	for _, wmp := range []int{down, up, WheelAdaptive} {
+		n := t
+		n.WheelMinPending = wmp
+		add(n)
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTuningKeyRoundTrip(t *testing.T) {
+	// Every tuning the autotune search can visit — the grid and one ring of
+	// hill-climb moves around it — must round-trip through its Key.
+	seen := map[string]Tuning{}
+	for _, tun := range TuningGrid() {
+		seen[tun.Key()] = tun
+		for _, n := range tun.Neighbors() {
+			seen[n.Key()] = n
+		}
+	}
+	for key, tun := range seen {
+		got, err := ParseTuningKey(key)
+		if err != nil {
+			t.Fatalf("ParseTuningKey(%q): %v", key, err)
+		}
+		if got != tun {
+			t.Errorf("ParseTuningKey(%q) = %+v, want %+v", key, got, tun)
+		}
+	}
+	if def, err := ParseTuningKey("default"); err != nil || def != DefaultTuning() {
+		t.Errorf("ParseTuningKey(\"default\") = %+v, %v", def, err)
+	}
+}
+
+func TestParseTuningKeyRejectsGarbage(t *testing.T) {
+	for _, key := range []string{
+		"", "ts0", "ts0-wb10-cd64", "ts0-wb10-cd64-wmp16-extra",
+		"tsx-wb10-cd64-wmp16", "ts0-wb10-cd64-wmpB", "ts0-wb10-cd64-wmp-3",
+		"wb10-ts0-cd64-wmp16", // prefixes are positional
+		"ts0-wb0-cd64-wmp16",  // fails Tuning.Validate
+		"ts0-wb10-cd0-wmp16",
+	} {
+		if tun, err := ParseTuningKey(key); err == nil {
+			t.Errorf("ParseTuningKey(%q) = %+v, want error", key, tun)
+		}
+	}
+}
+
+func TestTuningGridValidDistinctDefaultFirst(t *testing.T) {
+	grid := TuningGrid()
+	if len(grid) < 10 {
+		t.Fatalf("grid has %d points; too small to seed a search", len(grid))
+	}
+	if grid[0] != DefaultTuning() {
+		t.Errorf("grid[0] = %+v, want the default tuning", grid[0])
+	}
+	seen := map[string]bool{}
+	for _, tun := range grid {
+		if err := tun.Validate(); err != nil {
+			t.Errorf("grid point %s invalid: %v", tun.Key(), err)
+		}
+		if seen[tun.Key()] {
+			t.Errorf("duplicate grid point %s", tun.Key())
+		}
+		seen[tun.Key()] = true
+	}
+}
+
+func TestNeighborsValidAndDistinct(t *testing.T) {
+	for _, tun := range TuningGrid() {
+		ns := tun.Neighbors()
+		if len(ns) == 0 {
+			t.Errorf("%s has no neighbors; hill-climb would stall", tun.Key())
+		}
+		for _, n := range ns {
+			if n == tun {
+				t.Errorf("%s lists itself as a neighbor", tun.Key())
+			}
+			if err := n.Validate(); err != nil {
+				t.Errorf("%s neighbor %s invalid: %v", tun.Key(), n.Key(), err)
+			}
+		}
+	}
+	// The adaptive mode must be reachable from fixed thresholds and leave
+	// back to one, or the search could never cross between the two regimes.
+	fixed := DefaultTuning()
+	if !containsWMP(fixed.Neighbors(), WheelAdaptive) {
+		t.Error("default tuning has no adaptive neighbor")
+	}
+	adaptive := fixed
+	adaptive.WheelMinPending = WheelAdaptive
+	if !containsWMP(adaptive.Neighbors(), fixed.WheelMinPending) {
+		t.Error("adaptive tuning has no fixed-threshold neighbor")
+	}
+}
+
+func containsWMP(ts []Tuning, wmp int) bool {
+	for _, t := range ts {
+		if t.WheelMinPending == wmp {
+			return true
+		}
+	}
+	return false
+}
+
+// cornerTunings are the extreme points of the autotune search space: the
+// grid's smallest and largest wheel (bits and tick granularity), the
+// adaptive mode at both geometry extremes, and routing switched off
+// entirely (pure heap). These are the shapes a search is most likely to
+// emit for unusual workloads, and the shapes where a wheel-ordering bug
+// would hide.
+func cornerTunings() []Tuning {
+	grid := TuningGrid()
+	minWB, maxWB := grid[0], grid[0]
+	minTS, maxTS := grid[0], grid[0]
+	for _, tun := range grid {
+		if tun.WheelBits < minWB.WheelBits {
+			minWB = tun
+		}
+		if tun.WheelBits > maxWB.WheelBits {
+			maxWB = tun
+		}
+		if tun.TickShift < minTS.TickShift {
+			minTS = tun
+		}
+		if tun.TickShift > maxTS.TickShift {
+			maxTS = tun
+		}
+	}
+	adaptiveCoarse := maxTS
+	adaptiveCoarse.WheelMinPending = WheelAdaptive
+	adaptiveTiny := minWB
+	adaptiveTiny.WheelMinPending = WheelAdaptive
+	pureHeap := DefaultTuning()
+	pureHeap.WheelMinPending = 1 << 20
+	return []Tuning{minWB, maxWB, minTS, maxTS, adaptiveCoarse, adaptiveTiny, pureHeap}
+}
+
+// TestRandomInterleavingCornerTunings pins the order-invisibility property
+// the autotune harness relies on — any tuning produces the identical fire
+// order — at the corners of the search space, with the same reference
+// model as TestRandomInterleavingMatchesModel. Cache entries and the
+// seed-1 golden stay valid under any pinned winner precisely because this
+// holds.
+func TestRandomInterleavingCornerTunings(t *testing.T) {
+	for _, tun := range cornerTunings() {
+		tun := tun
+		t.Run(tun.Key(), func(t *testing.T) {
+			span := int(1) << (tun.TickShift + tun.WheelBits)
+			for trial := 0; trial < 60; trial++ {
+				runModelTrial(t, tun, span, trial)
+			}
+		})
+	}
+}
+
+func TestTuningKeyExamples(t *testing.T) {
+	// The documented spellings are load-bearing: BENCH_macro.json traces,
+	// the pin table comments and the CI smoke job all quote them.
+	for _, c := range []struct {
+		tun  Tuning
+		want string
+	}{
+		{DefaultTuning(), "ts0-wb10-cd64-wmp16"},
+		{Tuning{TickShift: 8, WheelBits: 10, CompactMinDead: 64, WheelMinPending: 0}, "ts8-wb10-cd64-wmp0"},
+		{Tuning{TickShift: 0, WheelBits: 10, CompactMinDead: 64, WheelMinPending: WheelAdaptive}, "ts0-wb10-cd64-wmpA"},
+	} {
+		if got := c.tun.Key(); got != c.want {
+			t.Errorf("Key() = %q, want %q", got, c.want)
+		}
+	}
+	if fmt.Sprintf("%s", DefaultTuning().Key()) != "ts0-wb10-cd64-wmp16" {
+		t.Error("default tuning key drifted; update EXPERIMENTS.md if intentional")
+	}
+}
